@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+The datasets are generated once per session at ``REPRO_BENCH_SCALE``
+(default 0.12 — ~65k nodes over the eight corpora; raise the env var
+to stress the curves at larger sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import DATASETS, bench_scale
+from repro.xmldb import Store
+
+#: Dataset order follows the paper's Table 1.
+DATASET_NAMES = list(DATASETS)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def dataset_xml(scale):
+    """name -> serialized XML of every catalog dataset."""
+    return {name: spec.build(scale) for name, spec in DATASETS.items()}
+
+
+@pytest.fixture(scope="session")
+def dataset_docs(dataset_xml):
+    """name -> shredded Document (one shared store per dataset)."""
+    docs = {}
+    for name, xml in dataset_xml.items():
+        store = Store()
+        docs[name] = store.add_document(name, xml)
+    return docs

@@ -1,0 +1,100 @@
+"""Ablation A1 — the combination function C vs. full re-hashing.
+
+The paper's central maintenance argument (Section 3): updating a text
+node without ``C`` means re-reading and re-hashing the full string
+value of every ancestor — on the root, the whole document.  With ``C``
+only sibling hash values are read.  This bench updates single text
+nodes on the largest dataset both ways and checks C wins by a wide
+margin while producing identical index state.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.ablations import rehash_update
+from repro.core import IndexManager, apply_text_updates
+from repro.workloads import dataset, bench_scale, random_text_updates
+
+NAME = "XMark8"
+
+
+@pytest.fixture(scope="module")
+def managers():
+    xml = dataset(NAME).build(bench_scale())
+    with_c = IndexManager(string=True, typed=())
+    with_c.load(NAME, xml)
+    without_c = IndexManager(string=True, typed=())
+    without_c.load(NAME, xml)
+    return with_c, without_c
+
+
+def _batch(manager, count, seed):
+    doc = manager.store.document(NAME)
+    return random_text_updates(doc, count, random.Random(seed))
+
+
+@pytest.mark.parametrize("batch", [1, 100])
+def test_update_with_combination_function(benchmark, managers, batch):
+    with_c, _ = managers
+
+    def run():
+        updates = _batch(with_c, batch, 5)
+        for nid, text in updates:
+            with_c.store.update_text(nid, text)
+        apply_text_updates(with_c.store, [n for n, _ in updates], with_c.indexes)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("batch", [1, 100])
+def test_update_with_full_rehash(benchmark, managers, batch):
+    _, without_c = managers
+
+    def run():
+        updates = _batch(without_c, batch, 5)
+        for nid, text in updates:
+            without_c.store.update_text(nid, text)
+        rehash_update(
+            without_c.store, without_c.string_index, [n for n, _ in updates]
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_strategies_agree_and_c_wins(benchmark, managers):
+    """Same final hashes both ways; C is faster (asserted in aggregate)."""
+    import time
+
+    with_c, without_c = managers
+    updates = _batch(with_c, 10, 99)
+
+    def timed(manager, maintain):
+        for nid, text in updates:
+            manager.store.update_text(nid, text)
+        start = time.perf_counter()
+        maintain()
+        return time.perf_counter() - start
+
+    c_seconds = timed(
+        with_c,
+        lambda: apply_text_updates(
+            with_c.store, [n for n, _ in updates], with_c.indexes
+        ),
+    )
+    rehash_seconds = timed(
+        without_c,
+        lambda: rehash_update(
+            without_c.store, without_c.string_index, [n for n, _ in updates]
+        ),
+    )
+    assert with_c.string_index.hash_of == without_c.string_index.hash_of
+    # Re-hashing reads every ancestor's full subtree text; C reads only
+    # sibling hashes. On a ~20k-node document C must win clearly.
+    assert c_seconds < rehash_seconds
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nA1: combine C {c_seconds * 1000:.1f} ms vs "
+        f"full re-hash {rehash_seconds * 1000:.1f} ms "
+        f"({rehash_seconds / max(c_seconds, 1e-9):.1f}x)"
+    )

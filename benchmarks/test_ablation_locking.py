@@ -1,0 +1,107 @@
+"""Ablation A5 — optimistic commutative commits vs. ancestor locking.
+
+Paper Section 5.1: "each update may impact the root node, and locking
+the root for each transaction can easily become a bottleneck", which
+the commutativity of ``C`` avoids entirely.  This bench runs a batch
+of transactions with think time between write and commit:
+
+* under strict 2PL with ancestor locks, think time happens *inside*
+  the root lock, so transactions serialise;
+* under the optimistic manager, writes are buffered lock-free and only
+  the short commit applies — think time overlaps.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import IndexManager
+from repro.txn import LockingTransactionManager, TransactionManager
+from repro.workloads import bench_scale, dataset, text_nids
+
+NAME = "XMark1"
+WORKERS = 8
+THINK_SECONDS = 0.01
+
+
+def _fresh_index_manager():
+    manager = IndexManager(string=True, typed=())
+    manager.load(NAME, dataset(NAME).build(bench_scale()))
+    return manager
+
+
+def _run_workload(begin, targets):
+    """Each worker: begin, write one node, think, commit."""
+    errors = []
+
+    def worker(nid):
+        try:
+            txn = begin()
+            txn.update_text(nid, "updated value")
+            time.sleep(THINK_SECONDS)
+            txn.commit()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(nid,)) for nid in targets]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors
+    return elapsed
+
+
+@pytest.fixture(scope="module")
+def targets():
+    manager = _fresh_index_manager()
+    doc = manager.store.document(NAME)
+    nids = text_nids(doc)
+    step = max(1, len(nids) // WORKERS)
+    return [nids[i * step] for i in range(WORKERS)]
+
+
+def test_optimistic_concurrent_commits(benchmark, targets):
+    def run():
+        manager = _fresh_index_manager()
+        txns = TransactionManager(manager)
+        return _run_workload(txns.begin, targets)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_locking_concurrent_commits(benchmark, targets):
+    def run():
+        manager = _fresh_index_manager()
+        txns = LockingTransactionManager(manager)
+        return _run_workload(txns.begin, targets)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_root_lock_is_the_bottleneck(benchmark, targets):
+    manager_optimistic = _fresh_index_manager()
+    optimistic = TransactionManager(manager_optimistic)
+    optimistic_elapsed = _run_workload(optimistic.begin, targets)
+
+    manager_locking = _fresh_index_manager()
+    locking = LockingTransactionManager(manager_locking)
+    locking_elapsed = _run_workload(locking.begin, targets)
+
+    # Locking serialises the think time (>= WORKERS * think); the
+    # optimistic manager overlaps it.
+    assert locking_elapsed >= WORKERS * THINK_SECONDS * 0.9
+    assert optimistic_elapsed < locking_elapsed
+    # Both end in the same state as a rebuild.
+    manager_optimistic.check_consistency()
+    manager_locking.check_consistency()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nA5: {WORKERS} txns with {THINK_SECONDS * 1000:.0f} ms think time: "
+        f"optimistic {optimistic_elapsed * 1000:.0f} ms, "
+        f"ancestor-locking {locking_elapsed * 1000:.0f} ms "
+        f"({locking.lock_retries} lock retries)"
+    )

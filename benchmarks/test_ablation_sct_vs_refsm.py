@@ -1,0 +1,92 @@
+"""Ablation A2 — SCT probes vs. re-running the FSM on update.
+
+Paper Section 4: the SCT exists "to efficiently compute the state of
+an intermediate node without reconstructing the lexical representation
+of that node".  This bench maintains the double index after text
+updates either through the SCT fold (paper Figure 8) or by re-reading
+each affected ancestor's string value and re-running the FSM.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.ablations import refsm_update
+from repro.core import IndexManager, apply_text_updates
+from repro.workloads import bench_scale, dataset, random_text_updates
+
+NAME = "PSD"  # numeric-sparse: rejection short-circuits both paths
+
+
+@pytest.fixture(scope="module")
+def managers():
+    xml = dataset(NAME).build(bench_scale())
+    with_sct = IndexManager(string=False, typed=("double",))
+    with_sct.load(NAME, xml)
+    without_sct = IndexManager(string=False, typed=("double",))
+    without_sct.load(NAME, xml)
+    return with_sct, without_sct
+
+
+def _apply(manager, updates):
+    for nid, text in updates:
+        manager.store.update_text(nid, text)
+
+
+@pytest.mark.parametrize("batch", [1, 100])
+def test_update_with_sct(benchmark, managers, batch):
+    with_sct, _ = managers
+    doc = with_sct.store.document(NAME)
+    rng = random.Random(17)
+
+    def run():
+        updates = random_text_updates(doc, batch, rng)
+        _apply(with_sct, updates)
+        apply_text_updates(
+            with_sct.store, [n for n, _ in updates], with_sct.indexes
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("batch", [1, 100])
+def test_update_with_refsm(benchmark, managers, batch):
+    _, without_sct = managers
+    doc = without_sct.store.document(NAME)
+    rng = random.Random(17)
+
+    def run():
+        updates = random_text_updates(doc, batch, rng)
+        _apply(without_sct, updates)
+        refsm_update(
+            without_sct.store,
+            without_sct.typed_index("double"),
+            [n for n, _ in updates],
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_strategies_agree(benchmark, managers):
+    with_sct, without_sct = managers
+    doc = with_sct.store.document(NAME)
+    updates = random_text_updates(doc, 25, random.Random(23))
+    _apply(with_sct, updates)
+    _apply(without_sct, updates)
+    apply_text_updates(
+        with_sct.store, [n for n, _ in updates], with_sct.indexes
+    )
+    refsm_update(
+        without_sct.store,
+        without_sct.typed_index("double"),
+        [n for n, _ in updates],
+    )
+    left = with_sct.typed_index("double")
+    right = without_sct.typed_index("double")
+    assert {
+        nid: fragment.state for nid, fragment in left.fragment_of_node.items()
+    } == {
+        nid: fragment.state for nid, fragment in right.fragment_of_node.items()
+    }
+    assert list(left.tree.keys()) == list(right.tree.keys())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

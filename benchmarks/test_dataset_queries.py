@@ -1,0 +1,84 @@
+"""Extension bench — per-dataset query workloads, indexed vs. scan.
+
+Runs each corpus's characteristic query set (repro.workloads.queries)
+through the index planner and the naive evaluator, asserting identical
+answers and reporting the aggregate speedup per dataset.
+"""
+
+import time
+
+import pytest
+
+from repro.core import IndexManager
+from repro.query import query
+from repro.workloads import bench_scale, dataset
+from repro.workloads.queries import QUERY_SETS, queries_for
+
+DATASETS = ["XMark4", "DBLP", "PSD", "Wiki", "EPAGeo"]
+
+
+@pytest.fixture(scope="module")
+def managers():
+    built = {}
+    for name in DATASETS:
+        manager = IndexManager(typed=("double",))
+        manager.load(name, dataset(name).build(bench_scale()))
+        built[name] = manager
+    return built
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_workload_indexed(benchmark, managers, name):
+    manager = managers[name]
+    texts = [text for _d, text in queries_for(name)]
+
+    def run_all():
+        return [query(manager, text) for text in texts]
+
+    results = benchmark(run_all)
+    assert len(results) == len(texts)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_workload_scan(benchmark, managers, name):
+    manager = managers[name]
+    texts = [text for _d, text in queries_for(name)]
+    benchmark.pedantic(
+        lambda: [query(manager, t, use_indexes=False) for t in texts],
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_workloads_agree_and_report(benchmark, managers):
+    lines = []
+    for name in DATASETS:
+        manager = managers[name]
+        indexed_total = scan_total = 0.0
+        for _description, text in queries_for(name):
+            start = time.perf_counter()
+            indexed = query(manager, text)
+            indexed_total += time.perf_counter() - start
+            start = time.perf_counter()
+            scanned = query(manager, text, use_indexes=False)
+            scan_total += time.perf_counter() - start
+            assert indexed == scanned, (name, text)
+        lines.append(
+            f"  {name:>7}: {len(queries_for(name))} queries, "
+            f"index {indexed_total * 1000:7.1f} ms, "
+            f"scan {scan_total * 1000:7.1f} ms "
+            f"({scan_total / max(indexed_total, 1e-9):4.1f}x)"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nPer-dataset query workloads (index vs scan):")
+    print("\n".join(lines))
+
+
+def test_every_query_set_is_covered(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(QUERY_SETS) == {
+        "XMark1", "XMark2", "XMark4", "XMark8",
+        "EPAGeo", "DBLP", "PSD", "Wiki",
+    }
+    for name, pairs in QUERY_SETS.items():
+        assert pairs, name

@@ -1,0 +1,78 @@
+"""Figure 10 — update time vs. number of updated text nodes.
+
+Per dataset × batch size × index kind: one maintenance pass (paper
+Figure 8) over a random batch of text updates.  Shape assertions:
+
+* growth is sub-linear in the batch size (shared ancestors recompute
+  once per pass);
+* the double index updates faster than the string index in aggregate
+  ("because of the faster combination step").
+"""
+
+import random
+
+import pytest
+
+from repro.bench.figure10 import format_report, measure_dataset
+from repro.core import IndexManager
+from repro.workloads import random_text_updates
+
+from conftest import DATASET_NAMES
+
+BATCHES = (1, 10, 100, 1000)
+
+
+@pytest.fixture(scope="module")
+def update_managers(dataset_xml):
+    """(name, kind) -> manager with only that index built."""
+    managers = {}
+    for name, xml in dataset_xml.items():
+        string_manager = IndexManager(string=True, typed=())
+        string_manager.load(name, xml)
+        managers[(name, "string")] = string_manager
+        double_manager = IndexManager(string=False, typed=("double",))
+        double_manager.load(name, xml)
+        managers[(name, "double")] = double_manager
+    return managers
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("kind", ["string", "double"])
+@pytest.mark.parametrize("batch", BATCHES)
+def test_update_batch(benchmark, update_managers, name, kind, batch):
+    manager = update_managers[(name, kind)]
+    doc = manager.store.document(name)
+    rng = random.Random(13)
+
+    def one_pass():
+        manager.update_texts(random_text_updates(doc, batch, rng))
+
+    benchmark.pedantic(one_pass, rounds=3, iterations=1)
+
+
+def test_figure10_report(benchmark, dataset_xml, capsys):
+    def run_all():
+        results = []
+        for name, xml in dataset_xml.items():
+            for kind in ("string", "double"):
+                results.append(
+                    measure_dataset(
+                        name, xml, kind, batches=BATCHES, repeats=3
+                    )
+                )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for series in results:
+        # Sub-linear: 1000 updates cost far less than 1000x one update.
+        per_one = series.timings[1]
+        per_thousand = series.timings[1000]
+        assert per_thousand < per_one * 400, series
+    total = {"string": 0.0, "double": 0.0}
+    for series in results:
+        total[series.index_kind] += sum(series.timings.values())
+    assert total["double"] < total["string"]
+    with capsys.disabled():
+        print()
+        print("Figure 10: update time vs number of updated text nodes")
+        print(format_report(results))

@@ -1,0 +1,61 @@
+"""Figure 11 — hash stability (collision distribution).
+
+Per dataset: hash all distinct value-leaf strings, group by hash and
+report the paper's distribution (how many hash values are shared by k
+distinct strings).  Shape assertions:
+
+* collisions are rare (well under 1%) for XMark/EPAGeo/DBLP;
+* Wiki shows the URL pathology: the biggest group reaches toward the
+  paper's maximum of 9 distinct strings per hash value, driven by URLs
+  whose differing characters repeat every 27 positions.
+"""
+
+import pytest
+
+from repro.bench.figure11 import (
+    distinct_values,
+    format_report,
+    hash_stability,
+)
+
+from conftest import DATASET_NAMES
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_hash_stability(benchmark, dataset_docs, name):
+    doc = dataset_docs[name]
+    result = benchmark(hash_stability, doc)
+    assert result.distinct_strings > 0
+    assert sum(
+        size * count for size, count in result.histogram.items()
+    ) == result.distinct_strings
+
+
+def test_figure11_report(benchmark, dataset_docs, capsys):
+    def run_all():
+        return [
+            hash_stability(doc, name)
+            for name, doc in dataset_docs.items()
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_name = {r.name: r for r in results}
+    for name in ("XMark1", "XMark2", "XMark4", "XMark8", "EPAGeo", "DBLP"):
+        assert by_name[name].collision_fraction < 0.01, name
+    # The Wiki URL pathology: multi-string groups, largest toward 9.
+    wiki = by_name["Wiki"]
+    assert wiki.collision_fraction > by_name["XMark1"].collision_fraction
+    assert wiki.max_group >= 4
+    assert wiki.max_group <= 9
+    # But still bounded: less than 10% of strings collide (paper).
+    assert wiki.collision_fraction < 0.10
+    with capsys.disabled():
+        print()
+        print("Figure 11: hash values shared by k distinct strings")
+        print(format_report(results))
+
+
+def test_distinct_value_extraction(benchmark, dataset_docs):
+    doc = dataset_docs["DBLP"]
+    values = benchmark(distinct_values, doc)
+    assert len(values) > 100

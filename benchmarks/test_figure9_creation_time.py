@@ -1,0 +1,76 @@
+"""Figure 9 (top) — index creation time vs. shredding time.
+
+Per dataset: benchmark the document shred (the paper's baseline), the
+string-index creation pass and the double-index creation pass, then
+print the overhead table next to the paper's percentages.
+
+Shape assertions: the double index is cheaper to build than the string
+index ("the combination step is cheaper ... probing an array vs.
+invoking a function"), and creation scales linearly in document size.
+"""
+
+import pytest
+
+from repro.bench.figure9 import format_time_report, measure_dataset
+from repro.core.builder import build_document
+from repro.core.string_index import StringIndex
+from repro.core.typed_index import TypedIndex
+from repro.xmldb import Store
+
+from conftest import DATASET_NAMES
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_shred_time(benchmark, dataset_xml, name):
+    xml = dataset_xml[name]
+    doc = benchmark(lambda: Store().add_document(name, xml))
+    assert len(doc) > 0
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_string_index_creation(benchmark, dataset_docs, name):
+    doc = dataset_docs[name]
+
+    def build():
+        index = StringIndex()
+        build_document(doc, [index])
+        return index
+
+    index = benchmark(build)
+    assert len(index) == len(doc)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_double_index_creation(benchmark, dataset_docs, name):
+    doc = dataset_docs[name]
+
+    def build():
+        index = TypedIndex("double")
+        build_document(doc, [index])
+        return index
+
+    index = benchmark(build)
+    assert index.potential_count() > 0
+
+
+def test_figure9_time_report(benchmark, dataset_xml, capsys):
+    def run_all():
+        return [
+            measure_dataset(name, xml, repeats=1)
+            for name, xml in dataset_xml.items()
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Shape: double-index creation is cheaper than string-index
+    # creation in aggregate (per-dataset timings are noisy at small
+    # scales, the paper's claim is about the totals).
+    total_string = sum(r.string_seconds for r in results)
+    total_double = sum(r.double_seconds for r in results)
+    assert total_double < total_string
+    # Shape: creation time grows with document size across XMark sfs.
+    xmark = {r.name: r for r in results if r.name.startswith("XMark")}
+    assert xmark["XMark8"].string_seconds > xmark["XMark1"].string_seconds
+    with capsys.disabled():
+        print()
+        print("Figure 9 (top): creation time overhead over shredding")
+        print(format_time_report(results))

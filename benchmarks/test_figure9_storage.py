@@ -1,0 +1,62 @@
+"""Figure 9 (bottom) — index storage relative to database size.
+
+Per dataset: modelled byte sizes of the database, the string index and
+the double index.  Paper shapes asserted:
+
+* string index is 10-20% of database size, and *lower* for documents
+  with few large text nodes (Wiki) than for many small ones;
+* double index is a few percent at most, and near zero for Wiki
+  (0.1% doubles).
+"""
+
+import pytest
+
+from repro.bench.figure9 import format_storage_report, measure_dataset
+from repro.core import IndexManager
+
+from conftest import DATASET_NAMES
+
+
+@pytest.fixture(scope="module")
+def built_managers(dataset_xml):
+    managers = {}
+    for name, xml in dataset_xml.items():
+        manager = IndexManager(typed=("double",))
+        manager.load(name, xml)
+        managers[name] = manager
+    return managers
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_storage_accounting(benchmark, built_managers, name):
+    manager = built_managers[name]
+    sizes = benchmark(manager.index_sizes)
+    db = manager.store.byte_size()
+    assert 0 < sizes["string"] < db
+    assert 0 < sizes["double"] < sizes["string"]
+
+
+def test_figure9_storage_report(benchmark, dataset_xml, capsys):
+    def run_all():
+        return [
+            measure_dataset(name, xml, repeats=1)
+            for name, xml in dataset_xml.items()
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_name = {r.name: r for r in results}
+    for r in results:
+        # String index: 5-25% of DB (paper: 10-20%).
+        assert 0.05 < r.string_storage_fraction < 0.25, r.name
+        # Double index always smaller than the string index.
+        assert r.double_bytes < r.string_bytes, r.name
+    # Wiki's double index is negligible (0.1% double values).
+    assert by_name["Wiki"].double_storage_fraction < 0.01
+    # Wiki has the lowest string-index fraction (few huge text nodes).
+    assert by_name["Wiki"].string_storage_fraction == min(
+        r.string_storage_fraction for r in results
+    )
+    with capsys.disabled():
+        print()
+        print("Figure 9 (bottom): storage overhead over database size")
+        print(format_storage_report(results))

@@ -1,0 +1,85 @@
+"""Ablation A3 — index-accelerated queries vs. full document scans.
+
+The paper motivates the indices with XPath value predicates
+(Section 1).  This bench runs the paper's query shapes over the XMark
+dataset with and without index use, asserting identical answers and an
+index-side win for selective predicates.
+"""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.query import explain, query
+from repro.workloads import bench_scale, dataset
+from repro.xmldb import TEXT
+
+NAME = "XMark4"
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = IndexManager(string=True, typed=("double",))
+    m.load(NAME, dataset(NAME).build(bench_scale()))
+    return m
+
+
+@pytest.fixture(scope="module")
+def selective_queries(manager):
+    """Query strings with small answers, derived from actual data."""
+    doc = manager.store.document(NAME)
+    # A string value that occurs in the document.
+    word = next(
+        doc.text_of(p)
+        for p in range(len(doc))
+        if doc.kind[p] == TEXT and doc.name_of(doc.parent(p)) == "name"
+    )
+    return [
+        f'//item[name = "{word}"]',
+        "//item[quantity = 5]",
+        "//open_auction[initial < 1]",
+        "//person[age >= 97]",
+    ]
+
+
+def test_plans_use_indexes(benchmark, manager, selective_queries):
+    for text in selective_queries:
+        assert explain(manager, text).startswith("index"), text
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_indexed_query(benchmark, manager, selective_queries, case):
+    text = selective_queries[case]
+    result = benchmark(lambda: query(manager, text))
+    assert result == query(manager, text, use_indexes=False)
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_scan_query(benchmark, manager, selective_queries, case):
+    text = selective_queries[case]
+    benchmark(lambda: query(manager, text, use_indexes=False))
+
+
+def test_speedup_summary(benchmark, manager, selective_queries):
+    import time
+
+    lines = []
+    total_indexed = total_scan = 0.0
+    for text in selective_queries:
+        start = time.perf_counter()
+        indexed = query(manager, text)
+        indexed_s = time.perf_counter() - start
+        start = time.perf_counter()
+        scanned = query(manager, text, use_indexes=False)
+        scan_s = time.perf_counter() - start
+        assert indexed == scanned
+        total_indexed += indexed_s
+        total_scan += scan_s
+        lines.append(
+            f"  {text}: index {indexed_s * 1000:.1f} ms, "
+            f"scan {scan_s * 1000:.1f} ms, {len(indexed)} hits"
+        )
+    assert total_indexed < total_scan
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nA3: query speedup (index vs scan)")
+    print("\n".join(lines))

@@ -1,0 +1,87 @@
+"""Extension bench — scaling curves for creation and lookups.
+
+The paper's Figure 9 shows creation cost growing with the XMark scale
+factor.  This bench sweeps document sizes explicitly and asserts the
+near-linear shape for index creation, and the sub-linear (logarithmic
+tree descent + candidate-proportional) shape for lookups.
+"""
+
+import time
+
+import pytest
+
+from repro.core import IndexManager
+from repro.core.builder import build_document
+from repro.core.string_index import StringIndex
+from repro.workloads import generate_xmark
+from repro.xmldb import Store
+
+SCALES = (0.05, 0.1, 0.2, 0.4)
+
+
+@pytest.fixture(scope="module")
+def docs():
+    built = []
+    for scale in SCALES:
+        doc = Store().add_document(f"x{scale}", generate_xmark(scale, seed=3))
+        built.append(doc)
+    return built
+
+
+@pytest.mark.parametrize("index", range(len(SCALES)))
+def test_creation_at_scale(benchmark, docs, index):
+    doc = docs[index]
+
+    def build():
+        string_index = StringIndex()
+        build_document(doc, [string_index])
+        return string_index
+
+    built = benchmark(build)
+    assert len(built) == len(doc)
+
+
+def test_creation_scales_linearly(benchmark, docs):
+    timings = []
+    for doc in docs:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            build_document(doc, [StringIndex()])
+            best = min(best, time.perf_counter() - start)
+        timings.append((len(doc), best))
+    # Cost per node at the largest scale within 3x of the smallest:
+    # linear growth, no superlinear blowup from the B-tree build.
+    per_node = [seconds / nodes for nodes, seconds in timings]
+    assert max(per_node) < 3 * min(per_node), timings
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nCreation scaling (nodes, ms, ns/node):")
+    for nodes, seconds in timings:
+        print(f"  {nodes:>7,}  {seconds * 1000:7.1f}  "
+              f"{seconds / nodes * 1e9:6.0f}")
+
+
+def test_lookup_cost_stays_flat(benchmark, docs):
+    """Point lookups cost O(log n + answer), not O(n): the largest
+    document's lookup is nowhere near proportionally slower."""
+    managers = []
+    for doc in docs:
+        manager = IndexManager(typed=("double",))
+        manager.load(f"m{len(managers)}", doc.serialize())
+        managers.append(manager)
+    timings = []
+    for manager in managers:
+        best = float("inf")
+        for _ in range(20):
+            start = time.perf_counter()
+            list(manager.lookup_typed_equal("double", 55.0))
+            best = min(best, time.perf_counter() - start)
+        nodes = manager.store.total_nodes()
+        timings.append((nodes, best))
+    smallest_nodes, smallest_time = timings[0]
+    largest_nodes, largest_time = timings[-1]
+    growth = largest_nodes / smallest_nodes
+    slowdown = largest_time / max(smallest_time, 1e-9)
+    assert slowdown < growth, timings  # decisively sub-linear
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(f"\nLookup scaling: {growth:.0f}x nodes -> {slowdown:.1f}x time")

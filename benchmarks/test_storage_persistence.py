@@ -1,0 +1,81 @@
+"""Extension bench — persistence: save/open times and real file sizes.
+
+Complements the modelled storage accounting of Figure 9 with *actual*
+on-disk bytes of the binary format, and shows that opening a database
+(reading fields + bulk-loading the trees) is far cheaper than
+re-shredding and re-hashing from XML.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import IndexManager
+from repro.storage import load_manager, save_manager
+from repro.workloads import bench_scale, dataset
+
+NAME = "XMark4"
+
+
+@pytest.fixture(scope="module")
+def built():
+    xml = dataset(NAME).build(bench_scale())
+    manager = IndexManager(typed=("double",))
+    manager.load(NAME, xml)
+    return manager, xml
+
+
+def _dir_size(path: str) -> int:
+    return sum(
+        os.path.getsize(os.path.join(path, f)) for f in os.listdir(path)
+    )
+
+
+def test_save_manager(benchmark, built, tmp_path_factory):
+    manager, _xml = built
+
+    def save():
+        target = tmp_path_factory.mktemp("db")
+        save_manager(manager, str(target))
+        return str(target)
+
+    path = benchmark(save)
+    assert _dir_size(path) > 0
+
+
+def test_load_manager(benchmark, built, tmp_path_factory):
+    manager, _xml = built
+    path = str(tmp_path_factory.mktemp("db"))
+    save_manager(manager, path)
+    loaded = benchmark(lambda: load_manager(path))
+    assert loaded.string_index.hash_of == manager.string_index.hash_of
+
+
+def test_open_vs_rebuild(benchmark, built, tmp_path_factory):
+    """Opening persisted indices beats re-shredding + re-indexing."""
+    manager, xml = built
+    path = str(tmp_path_factory.mktemp("db"))
+    save_manager(manager, path)
+
+    start = time.perf_counter()
+    loaded = load_manager(path)
+    open_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuilt = IndexManager(typed=("double",))
+    rebuilt.load(NAME, xml)
+    rebuild_seconds = time.perf_counter() - start
+
+    assert loaded.string_index.hash_of == rebuilt.string_index.hash_of
+    assert open_seconds < rebuild_seconds
+    real = _dir_size(path)
+    modelled = manager.store.byte_size() + sum(
+        manager.index_sizes().values()
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nPersistence: open {open_seconds * 1000:.0f} ms vs rebuild "
+        f"{rebuild_seconds * 1000:.0f} ms; on-disk {real:,} B "
+        f"(modelled {modelled:,} B, ratio {real / modelled:.2f})"
+    )

@@ -1,0 +1,40 @@
+"""Table 1 — dataset statistics (paper Section 6, Table 1).
+
+Benchmarks the statistics pass per dataset and prints the regenerated
+table with the paper's values for comparison.  The node-mix assertions
+(text %, double %, non-leaf counts) pin the calibration that every
+other experiment depends on.
+"""
+
+import pytest
+
+from repro.bench.table1 import format_report
+from repro.workloads import DATASETS, collect_stats
+
+from conftest import DATASET_NAMES
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_stats(benchmark, dataset_docs, name):
+    doc = dataset_docs[name]
+    stats = benchmark(collect_stats, doc)
+    spec = DATASETS[name]
+    assert abs(stats.text_fraction - spec.paper_text_pct / 100) < 0.06
+    assert abs(stats.double_fraction - spec.paper_double_pct / 100) < 0.025
+    if spec.paper_non_leaf == 0:
+        assert stats.non_leaf_doubles == 0
+    else:
+        assert stats.non_leaf_doubles >= 1
+
+
+def test_table1_report(benchmark, dataset_docs, capsys):
+    def build_report():
+        return {
+            name: collect_stats(doc) for name, doc in dataset_docs.items()
+        }
+
+    stats = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Table 1: dataset statistics (measured, paper in parens)")
+        print(format_report(stats))

@@ -1,0 +1,73 @@
+"""Custom typed indices compiled from regular expressions.
+
+The paper's typed-index recipe needs only a DFA per type; this example
+defines two *user* types at runtime — ISBNs and order numbers — from
+regular expressions, and gets fully updatable range indices over them,
+mixed-content semantics included.
+
+Run:  python examples/custom_pattern_index.py
+"""
+
+from repro import IndexManager
+from repro.core.fsm import pattern_plugin, register_type
+
+CATALOG = """\
+<catalog>\
+<book><title>The Guide</title><isbn>978-0-33911-641-1</isbn></book>\
+<book><title>Mostly Harmless</title>\
+<isbn>978-0<check>-3453</check>9-182-7</isbn></book>\
+<book><title>Not a book</title><isbn>none assigned</isbn></book>\
+<order number="ORD-2008-00042"/>\
+<order number="ORD-2008-00117"/>\
+</catalog>"""
+
+
+def main():
+    # Two custom types, straight from patterns.  The ISBN cast keeps
+    # the matched text; the order cast extracts the numeric suffix.
+    register_type(
+        "isbn",
+        lambda: pattern_plugin("isbn", r"97[89]-\d-\d\d\d\d\d-\d\d\d-\d"),
+    )
+    register_type(
+        "orderno",
+        lambda: pattern_plugin(
+            "orderno",
+            r"ORD-\d\d\d\d-\d\d\d\d\d",
+            cast=lambda p, tokens: int(p.render(tokens).rsplit("-", 1)[1]),
+        ),
+    )
+
+    manager = IndexManager(typed=("isbn", "orderno"))
+    manager.load("catalog", CATALOG)
+
+    print("== ISBN range scan (lexicographic) ==")
+    for value, nid in manager.lookup_typed_range("isbn"):
+        doc, pre = manager.store.node(nid)
+        kind = {1: "element", 2: "text"}.get(doc.kind[pre], "?")
+        name = doc.name_of(pre) if doc.kind[pre] == 1 else "-"
+        print(f"  {value}  ({kind} {name})")
+    print("  note: the second book's ISBN is split across mixed content")
+    print("  (<isbn>978-0<check>-3453</check>9-182-7</isbn>) and still")
+    print("  indexes as one value via the SCT.")
+
+    print("\n== order numbers as integers ==")
+    for value, _nid in manager.lookup_typed_range("orderno", 1, 100):
+        print(f"  order #{value}")
+
+    print("\n== updates maintain pattern indices too ==")
+    doc = manager.store.document("catalog")
+    bad_isbn = next(
+        doc.nid[p]
+        for p in range(len(doc))
+        if doc.text_id[p] >= 0 and doc.text_of(p) == "none assigned"
+    )
+    manager.update_text(bad_isbn, "978-1-99999-000-5")
+    hits = list(manager.lookup_typed_equal("isbn", "978-1-99999-000-5"))
+    print(f"  fixed ISBN now indexed: {len(hits)} node(s)")
+    manager.check_consistency()
+    print("  consistency check: OK")
+
+
+if __name__ == "__main__":
+    main()

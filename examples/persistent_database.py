@@ -1,0 +1,70 @@
+"""A persistent XML database with an XMark-style query workload.
+
+Builds a database on disk, reopens it (no re-hashing, no FSM re-runs),
+and runs a mixed query workload comparing three planning modes:
+forced index, cost-based auto, and full scan.
+
+Run:  python examples/persistent_database.py [scale]
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import IndexManager
+from repro.query import explain, query
+from repro.storage import load_manager, save_manager
+from repro.workloads import generate_xmark
+
+WORKLOAD = [
+    # (description, query)
+    ("point lookup on a quantity", "//item[quantity = 5]"),
+    ("selective price range", "//open_auction[initial < 0.5]"),
+    ("unselective range (auto should scan)", "//item[price > 0]"),
+    ("string equality on a name", '//person[city = "magrathea"]'),
+    ("conjunction", "//item[quantity = 5 and price < 100]"),
+    ("disjunction", "//person[age = 42 or age = 99]"),
+    ("positional", "//item[1]/name"),
+]
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print("== building and persisting ==")
+        manager = IndexManager(typed=("double",), substring=True)
+        start = time.perf_counter()
+        doc = manager.load("auctions", generate_xmark(scale))
+        build_s = time.perf_counter() - start
+        save_manager(manager, tmp)
+        print(f"  built {len(doc):,} nodes in {build_s * 1000:.0f} ms; "
+              f"saved to {tmp}")
+
+        print("\n== reopening from disk ==")
+        start = time.perf_counter()
+        reopened = load_manager(tmp)
+        open_s = time.perf_counter() - start
+        print(f"  opened in {open_s * 1000:.0f} ms "
+              f"({build_s / open_s:.1f}x faster than rebuilding)")
+        assert reopened.string_index.hash_of == manager.string_index.hash_of
+
+        print("\n== query workload (indexed / auto / scan, ms) ==")
+        for description, text in WORKLOAD:
+            timings = {}
+            results = {}
+            for mode in (True, "auto", False):
+                start = time.perf_counter()
+                results[mode] = query(reopened, text, use_indexes=mode)
+                timings[mode] = (time.perf_counter() - start) * 1000
+            assert results[True] == results["auto"] == results[False]
+            print(f"  {description}")
+            print(f"    {text}  [{explain(reopened, text)}]")
+            print(f"    indexed {timings[True]:7.1f}  "
+                  f"auto {timings['auto']:7.1f}  "
+                  f"scan {timings[False]:7.1f}  "
+                  f"-> {len(results[True])} hits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: generic and updatable XML value indices (EDBT 2009 reproduction).
+
+Public API re-exported here:
+
+* :class:`IndexManager` — build/maintain/query the indices over a store;
+* :class:`Store` / :class:`Document` — the XML storage substrate;
+* hashing (`hash_string`, `combine`) and FSM (`get_plugin`) primitives;
+* :func:`query` — the XPath-subset evaluator (index-accelerated).
+"""
+
+from .core import IndexManager, StringIndex, TypedIndex, combine, hash_string
+from .database import Database
+from .core.fsm import get_plugin
+from .errors import ReproError
+from .xmldb import Document, Store
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Document",
+    "IndexManager",
+    "ReproError",
+    "Store",
+    "StringIndex",
+    "TypedIndex",
+    "combine",
+    "get_plugin",
+    "hash_string",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Benchmark drivers: one module per paper table/figure.
+
+Run any of them directly::
+
+    python -m repro.bench.table1
+    python -m repro.bench.figure9
+    python -m repro.bench.figure10
+    python -m repro.bench.figure11
+
+or through ``pytest benchmarks/ --benchmark-only``, which times the
+kernels with pytest-benchmark and prints the same reports.
+"""
+
+from .harness import format_bytes, measure_seconds, render_table
+
+__all__ = ["format_bytes", "measure_seconds", "render_table"]

@@ -1,0 +1,64 @@
+"""Ablation baselines for the design choices the paper motivates.
+
+Each function here implements the *naive* alternative the paper argues
+against, so the benchmarks can quantify the benefit of the published
+design:
+
+* ``rehash_update`` — maintain the string index without the
+  combination function ``C``: every affected ancestor re-reads its
+  full string value from the document and re-hashes it (paper
+  Section 3: "Obviously, for large documents this is very
+  inefficient").
+* ``refsm_update`` — maintain the typed index without the SCT:
+  every affected ancestor re-reads its string value and re-runs the
+  FSM over it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.string_index import StringIndex
+from ..core.typed_index import TypedIndex
+from ..xmldb.document import TEXT, Document
+from ..xmldb.store import Store
+
+__all__ = ["rehash_update", "refsm_update"]
+
+
+def _affected(store: Store, nids: Iterable[int]) -> list[tuple[Document, int, int]]:
+    """Updated nodes plus all their ancestors as (doc, pre, nid)."""
+    seen: set[int] = set()
+    result = []
+    for nid in nids:
+        doc, pre = store.node(nid)
+        if nid not in seen:
+            seen.add(nid)
+            result.append((doc, pre, nid))
+        if doc.kind[pre] != TEXT:
+            continue
+        for ancestor in doc.ancestors(pre):
+            ancestor_nid = doc.nid[ancestor]
+            if ancestor_nid in seen:
+                break
+            seen.add(ancestor_nid)
+            result.append((doc, ancestor, ancestor_nid))
+    return result
+
+
+def rehash_update(store: Store, index: StringIndex, nids: Iterable[int]) -> int:
+    """String-index maintenance *without* ``C``: re-read and re-hash the
+    full string value of every affected node."""
+    affected = _affected(store, nids)
+    for doc, pre, nid in affected:
+        index.set_entry(nid, index.field_of_text(doc.string_value(pre)))
+    return len(affected)
+
+
+def refsm_update(store: Store, index: TypedIndex, nids: Iterable[int]) -> int:
+    """Typed-index maintenance *without* the SCT: re-read and re-run the
+    FSM over the full string value of every affected node."""
+    affected = _affected(store, nids)
+    for doc, pre, nid in affected:
+        index.set_entry(nid, index.plugin.fragment_of_text(doc.string_value(pre)))
+    return len(affected)

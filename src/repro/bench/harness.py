@@ -1,0 +1,54 @@
+"""Shared benchmark utilities: timing and table rendering."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["measure_seconds", "render_table", "format_bytes"]
+
+
+def measure_seconds(
+    fn: Callable[[], object], repeats: int = 3
+) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (average seconds, last result).
+
+    Mirrors the paper's methodology of averaging repeated cold runs —
+    the caller is responsible for resetting state between runs if the
+    operation is not idempotent.
+    """
+    total = 0.0
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        total += time.perf_counter() - start
+    return total / repeats, result
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:,.1f} {unit}"
+        value /= 1024
+    return f"{value:,.1f} GB"  # pragma: no cover

@@ -1,0 +1,84 @@
+"""Minimal ASCII plotting for the figure drivers.
+
+The paper's Figures 10 and 11 are plots (update-time curves; a log-log
+collision histogram).  The drivers print their data as tables for
+precision and as ASCII plots for shape — monochrome terminal output,
+one marker character per series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&$"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render point series on one ASCII grid.
+
+    Args:
+        series: label -> [(x, y), ...]; each series gets a marker.
+        width/height: Plot area in characters.
+        log_x/log_y: Logarithmic axes (values must then be positive).
+
+    Returns the plot plus a legend, as a multi-line string.
+    """
+    points = [
+        (_transform(x, log_x), _transform(y, log_y))
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={label}")
+        for x, y in values:
+            tx = (_transform(x, log_x) - x_low) / x_span
+            ty = (_transform(y, log_y) - y_low) / y_span
+            column = min(width - 1, int(tx * (width - 1)))
+            row = height - 1 - min(height - 1, int(ty * (height - 1)))
+            grid[row][column] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        if log:
+            return f"1e{value:.1f}"
+        return f"{value:g}"
+
+    lines = []
+    top = f"{fmt(y_high, log_y)} ({y_label})"
+    lines.append(top)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{fmt(y_low, log_y)}  x: {fmt(x_low, log_x)} .. "
+        f"{fmt(x_high, log_x)} ({x_label})"
+    )
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Table 1 — dataset statistics, paper vs. measured.
+
+Regenerates the paper's Table 1 for the eight catalog datasets: size,
+total nodes, text (value-leaf) nodes, potential-double values and
+non-leaf potential doubles, next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from ..workloads import DATASETS, DatasetStats, bench_scale, collect_stats
+from ..xmldb import Store
+from .harness import render_table
+
+__all__ = ["run", "format_report", "main"]
+
+
+def run(scale: float | None = None) -> dict[str, DatasetStats]:
+    """Build all datasets and compute their Table 1 rows."""
+    scale = bench_scale() if scale is None else scale
+    stats: dict[str, DatasetStats] = {}
+    for name, spec in DATASETS.items():
+        store = Store()
+        doc = store.add_document(name, spec.build(scale))
+        stats[name] = collect_stats(doc)
+    return stats
+
+
+def format_report(stats: dict[str, DatasetStats]) -> str:
+    headers = [
+        "Data", "Size MB", "Nodes", "Text", "Text% (paper)",
+        "Doubles", "Dbl% (paper)", "non-leaf (paper)",
+    ]
+    rows = []
+    for name, measured in stats.items():
+        spec = DATASETS[name]
+        rows.append(
+            [
+                name,
+                f"{measured.size_mb:.1f}",
+                f"{measured.total_nodes:,}",
+                f"{measured.text_nodes:,}",
+                f"{measured.text_fraction:.0%} ({spec.paper_text_pct}%)",
+                f"{measured.double_values:,}",
+                f"{measured.double_fraction:.1%} ({spec.paper_double_pct}%)",
+                f"{measured.non_leaf_doubles} ({spec.paper_non_leaf})",
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def main() -> None:
+    stats = run()
+    print("Table 1: dataset statistics (measured, paper values in parens)")
+    print(format_report(stats))
+
+
+if __name__ == "__main__":
+    main()

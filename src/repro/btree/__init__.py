@@ -1,0 +1,5 @@
+"""B+tree substrate shared by the string and typed value indices."""
+
+from .bplus import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,410 @@
+"""A from-scratch in-memory B+tree.
+
+Both paper indices sit on B-tree structures: "a (B-tree) index,
+constructed on the hash values" (Section 3) and "a clustered (b-tree)
+index is built on top of the typed values" (Section 4).  This module
+provides the shared substrate: an order-configurable B+tree with
+chained leaves, point/range lookups, bulk loading for index creation,
+and a modelled on-disk byte size for the storage experiments.
+
+Keys must be mutually comparable; entries are unique by key.  Indices
+that need duplicate logical keys (many nodes per hash value) append the
+node id to the key tuple, which is also how the paper lays out its
+``[value, state, node id]`` tuples.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < keys[i]; children[-1] covers the rest.
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """An in-memory B+tree map.
+
+    Args:
+        order: Maximum number of keys per node (≥ 3).
+        key_bytes: Modelled stored size of one key, for
+            :meth:`byte_size`.
+        value_bytes: Modelled stored size of one value; may also be a
+            callable ``value -> bytes`` for variable-size payloads.
+    """
+
+    def __init__(
+        self,
+        order: int = 64,
+        key_bytes: int = 8,
+        value_bytes: int | Callable[[Any], int] = 0,
+    ):
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self._order = order
+        self._key_bytes = key_bytes
+        self._value_bytes = value_bytes
+        self._root: _Leaf | _Inner = _Leaf()
+        self._first_leaf: _Leaf = self._root
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        leaf, idx = self._find(key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup."""
+        leaf, idx = self._find(key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf)."""
+        return self._height
+
+    # ------------------------------------------------------------------
+    # Search helpers
+    # ------------------------------------------------------------------
+
+    def _find(self, key: Any) -> tuple[_Leaf, int]:
+        """Descend to the leaf that should hold ``key``."""
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node, bisect.bisect_left(node.keys, key)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any = None) -> bool:
+        """Insert ``key``; returns False (and overwrites) if present."""
+        path: list[tuple[_Inner, int]] = []
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+            return False
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self._size += 1
+        if len(node.keys) > self._order:
+            self._split(node, path)
+        return True
+
+    def _split(self, node: _Leaf | _Inner, path: list[tuple[_Inner, int]]) -> None:
+        mid = len(node.keys) // 2
+        if isinstance(node, _Leaf):
+            sibling = _Leaf()
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            del node.keys[mid:]
+            del node.values[mid:]
+            sibling.next = node.next
+            node.next = sibling
+            separator = sibling.keys[0]
+        else:
+            sibling = _Inner()
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            del node.keys[mid:]
+            del node.children[mid + 1 :]
+        if path:
+            parent, idx = path.pop()
+            parent.keys.insert(idx, separator)
+            parent.children.insert(idx + 1, sibling)
+            if len(parent.keys) > self._order:
+                self._split(parent, path)
+        else:
+            root = _Inner()
+            root.keys = [separator]
+            root.children = [node, sibling]
+            self._root = root
+            self._height += 1
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns False if it was absent.
+
+        Uses lazy deletion for structure (nodes may underflow; empty
+        leaves are unlinked) — standard for in-memory B+trees where
+        rebalance cost is not repaid, and irrelevant to the modelled
+        storage size which counts entries.
+        """
+        path: list[tuple[_Inner, int]] = []
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx >= len(node.keys) or node.keys[idx] != key:
+            return False
+        del node.keys[idx]
+        del node.values[idx]
+        self._size -= 1
+        if not node.keys and path:
+            self._unlink_empty_leaf(node, path)
+        return True
+
+    def _unlink_empty_leaf(self, leaf: _Leaf, path: list[tuple[_Inner, int]]) -> None:
+        # Fix the leaf chain: find the left neighbour (scan from the
+        # first leaf; amortised fine for an in-memory tree).
+        if leaf is self._first_leaf:
+            if leaf.next is None:
+                # Tree is now completely empty.
+                self._first_leaf = leaf
+                self._root = leaf
+                self._height = 1
+                return
+            self._first_leaf = leaf.next
+        else:
+            prev = self._first_leaf
+            while prev.next is not leaf:
+                prev = prev.next
+            prev.next = leaf.next
+        # Remove the leaf from its parent; propagate removal of inner
+        # nodes that become childless.
+        for parent, idx in reversed(path):
+            del parent.children[idx]
+            if parent.keys:
+                del parent.keys[idx - 1 if idx > 0 else 0]
+            if parent.children:
+                break
+        while isinstance(self._root, _Inner) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in key order."""
+        leaf: _Leaf | None = self._first_leaf
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def items_reversed(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in descending key order.
+
+        Leaves are chained forward only, so this walks the tree
+        right-to-left with an explicit stack — O(1) memory per level.
+        """
+        stack: list[Any] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                stack.extend(node.children)  # leftmost ends up deepest
+            else:
+                yield from zip(reversed(node.keys), reversed(node.values))
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Entries with ``low <= key <= high`` (bounds optional).
+
+        ``include_low``/``include_high`` toggle bound strictness, giving
+        the four interval kinds range predicates need.
+        """
+        if low is None:
+            leaf, idx = self._first_leaf, 0
+        else:
+            leaf, idx = self._find(low)
+            if not include_low:
+                while idx < len(leaf.keys) and leaf.keys[idx] == low:
+                    idx += 1
+        current: _Leaf | None = leaf
+        while current is not None:
+            keys = current.keys
+            for i in range(idx, len(keys)):
+                key = keys[i]
+                if high is not None:
+                    if key > high or (not include_high and key == high):
+                        return
+                yield key, current.values[i]
+            idx = 0
+            current = current.next
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, entries: Iterable[tuple[Any, Any]]) -> None:
+        """Replace the tree contents from key-sorted unique ``entries``.
+
+        Builds packed leaves bottom-up — this is what index *creation*
+        uses (paper Figure 7 produces all entries in one pass; sorting
+        them and packing is the classical bulk build).
+        """
+        fill = max(2, (self._order * 3) // 4)
+        leaves: list[_Leaf] = []
+        current = _Leaf()
+        count = 0
+        previous_key = None
+        for key, value in entries:
+            if previous_key is not None and key <= previous_key:
+                raise ValueError("bulk_load requires strictly sorted keys")
+            previous_key = key
+            if len(current.keys) >= fill:
+                leaves.append(current)
+                nxt = _Leaf()
+                current.next = nxt
+                current = nxt
+            current.keys.append(key)
+            current.values.append(value)
+            count += 1
+        leaves.append(current)
+        # Merge a trailing runt into its left sibling.
+        if len(leaves) > 1 and len(leaves[-1].keys) < 2:
+            runt = leaves.pop()
+            leaves[-1].keys.extend(runt.keys)
+            leaves[-1].values.extend(runt.values)
+            leaves[-1].next = None
+        self._first_leaf = leaves[0]
+        self._size = count
+        self._height = 1
+        level: list[Any] = leaves
+        separators = [leaf.keys[0] for leaf in leaves[1:]]
+        while len(level) > 1:
+            parents: list[_Inner] = []
+            parent_separators: list[Any] = []
+            i = 0
+            while i < len(level):
+                inner = _Inner()
+                take = min(fill + 1, len(level) - i)
+                if len(level) - (i + take) == 1:
+                    take -= 1  # never leave a single orphan child
+                inner.children = level[i : i + take]
+                inner.keys = separators[i : i + take - 1]
+                if i + take < len(level):
+                    parent_separators.append(separators[i + take - 1])
+                parents.append(inner)
+                i += take
+            level = parents
+            separators = parent_separators
+            self._height += 1
+        self._root = level[0]
+
+    # ------------------------------------------------------------------
+    # Storage model
+    # ------------------------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Modelled on-disk size in bytes.
+
+        Leaf entries cost key + value bytes; inner entries cost key +
+        4-byte child pointers.  This mirrors how the paper accounts
+        index storage (it reports index size relative to database size,
+        both from the same storage manager).
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                total += len(node.keys) * self._key_bytes
+                total += len(node.children) * 4
+                stack.extend(node.children)
+            else:
+                total += len(node.keys) * self._key_bytes
+                if callable(self._value_bytes):
+                    total += sum(self._value_bytes(v) for v in node.values)
+                else:
+                    total += len(node.keys) * self._value_bytes
+        return total
+
+    def inner_byte_size(self) -> int:
+        """Modelled bytes of the inner (non-leaf) levels only.
+
+        Used where leaf entries are accounted separately (e.g. the
+        string index counts its hash column once; the tree adds only
+        navigation overhead on top).
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                total += len(node.keys) * self._key_bytes
+                total += len(node.children) * 4
+                stack.extend(node.children)
+        return total
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (test support).
+
+        Checks sorted keys, key/child arity, leaf chain completeness and
+        the separator property on every path.
+        """
+        entries_via_chain = list(self.items())
+        keys = [k for k, _ in entries_via_chain]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(set(keys)) == len(keys), "duplicate keys"
+        assert len(keys) == self._size, "size counter drift"
+
+        def walk(node, low, high, depth):
+            if isinstance(node, _Inner):
+                assert len(node.children) == len(node.keys) + 1
+                assert node.keys == sorted(node.keys)
+                bounds = [low, *node.keys, high]
+                depths = set()
+                for i, child in enumerate(node.children):
+                    depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+                assert len(depths) == 1, "leaves at unequal depth"
+                return depths.pop()
+            assert node.keys == sorted(node.keys)
+            for key in node.keys:
+                if low is not None:
+                    assert key >= low
+                if high is not None:
+                    assert key < high
+            return depth
+
+        leaf_depth = walk(self._root, None, None, 1)
+        assert leaf_depth == self._height, "height counter drift"

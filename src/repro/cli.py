@@ -1,0 +1,261 @@
+"""Command-line interface: an XML database with generic value indices.
+
+Examples::
+
+    repro-xml init db --typed double dateTime --substring
+    repro-xml load db persons persons.xml
+    repro-xml generate db XMark1 --scale 0.2
+    repro-xml stats db
+    repro-xml query db '//person[.//age = 42]' --explain
+    repro-xml lookup db --string ArthurDent
+    repro-xml lookup db --range 40 80
+    repro-xml bench figure10
+
+(Also runnable as ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .database import Database
+from .errors import ReproError
+from .workloads import DATASETS, collect_stats
+from .workloads.stats import DatasetStats
+
+__all__ = ["main"]
+
+
+def _describe(manager, nid: int) -> str:
+    doc, pre = manager.store.node(nid)
+    kind = doc.kind[pre]
+    if kind == 1:
+        label = f"<{doc.name_of(pre)}>"
+    elif kind == 2:
+        label = f"text {doc.text_of(pre)!r}"
+    elif kind == 3:
+        label = f"@{doc.name_of(pre)}={doc.text_of(pre)!r}"
+    else:
+        label = "document"
+    return f"  nid {nid} [{doc.name}] {label}"
+
+
+def _open(path: str) -> Database:
+    """Open an existing database (WAL recovery included)."""
+    import os
+
+    if not os.path.exists(os.path.join(path, "MANIFEST.json")):
+        raise ReproError(f"no database at {path!r}; run 'init' first")
+    db = Database(path)
+    if db.recovered_records:
+        print(f"(recovered {db.recovered_records} update(s) from the WAL)")
+    return db
+
+
+def cmd_init(args) -> int:
+    Database(
+        args.db,
+        string=not args.no_string,
+        typed=tuple(args.typed),
+        substring=args.substring,
+    ).close()
+    print(f"initialised empty database at {args.db}")
+    return 0
+
+
+def cmd_load(args) -> int:
+    with _open(args.db) as db:
+        with open(args.file, encoding="utf-8") as fh:
+            xml = fh.read()
+        doc = db.load(args.name, xml)
+    print(f"loaded {args.name!r}: {len(doc):,} nodes")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    spec = DATASETS.get(args.dataset)
+    if spec is None:
+        print(f"unknown dataset {args.dataset!r}; one of {sorted(DATASETS)}",
+              file=sys.stderr)
+        return 2
+    with _open(args.db) as db:
+        doc = db.load(args.dataset, spec.build(args.scale))
+    print(f"generated {args.dataset}: {len(doc):,} nodes")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    with _open(args.db) as db:
+        print(DatasetStats.header())
+        for name, doc in db.store.documents.items():
+            print(collect_stats(doc, name).row())
+        print("\nindex sizes (modelled bytes):")
+        for name, size in db.manager.index_sizes().items():
+            print(f"  {name:>10}: {size:,}")
+        print(f"  {'database':>10}: {db.store.byte_size():,}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    manager = _open(args.db)
+    if args.explain:
+        print(f"plan: {manager.explain(args.xpath)}")
+    hits = manager.query(args.xpath, use_indexes=not args.no_index)
+    print(f"{len(hits)} hit(s)")
+    for nid in hits[: args.limit]:
+        print(_describe(manager, nid))
+    if len(hits) > args.limit:
+        print(f"  ... and {len(hits) - args.limit} more")
+    manager.close(checkpoint=False)
+    return 0
+
+
+def cmd_lookup(args) -> int:
+    manager = _open(args.db)
+    if args.string is not None:
+        hits = list(manager.lookup_string(args.string))
+    elif args.double is not None:
+        hits = list(manager.lookup_typed_equal("double", args.double))
+    elif args.range is not None:
+        low, high = args.range
+        hits = [n for _v, n in manager.lookup_typed_range("double", low, high)]
+    elif args.contains is not None:
+        hits = list(manager.lookup_contains(args.contains))
+    elif args.regex is not None:
+        hits = list(manager.lookup_regex(args.regex))
+    else:
+        print("choose one of --string/--double/--range/--contains/--regex",
+              file=sys.stderr)
+        manager.close(checkpoint=False)
+        return 2
+    print(f"{len(hits)} hit(s)")
+    for nid in hits[: args.limit]:
+        print(_describe(manager, nid))
+    manager.close(checkpoint=False)
+    return 0
+
+
+def cmd_update(args) -> int:
+    db = _open(args.db)
+    recomputed = db.update_text(args.nid, args.text)
+    db.close(checkpoint=False)  # the WAL carries the update
+    print(f"updated node {args.nid}; {recomputed} index entries recomputed")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    with _open(args.db) as db:
+        db.checkpoint()
+    print("checkpoint complete; WAL truncated")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    with _open(args.db) as db:
+        report = db.verify()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from .bench import figure9, figure10, figure11, table1
+
+    module = {
+        "table1": table1,
+        "figure9": figure9,
+        "figure10": figure10,
+        "figure11": figure11,
+    }[args.experiment]
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xml",
+        description="Generic and updatable XML value indices (EDBT 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create an empty database directory")
+    p.add_argument("db")
+    p.add_argument("--typed", nargs="*", default=["double"],
+                   help="typed range indices to maintain")
+    p.add_argument("--no-string", action="store_true",
+                   help="skip the string equality index")
+    p.add_argument("--substring", action="store_true",
+                   help="maintain the q-gram substring index")
+    p.set_defaults(fn=cmd_init)
+
+    p = sub.add_parser("load", help="shred and index an XML file")
+    p.add_argument("db")
+    p.add_argument("name")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser("generate", help="generate a catalog dataset")
+    p.add_argument("db")
+    p.add_argument("dataset")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("stats", help="Table 1 statistics per document")
+    p.add_argument("db")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("query", help="evaluate an XPath query")
+    p.add_argument("db")
+    p.add_argument("xpath")
+    p.add_argument("--no-index", action="store_true")
+    p.add_argument("--explain", action="store_true")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("lookup", help="direct index lookups")
+    p.add_argument("db")
+    p.add_argument("--string")
+    p.add_argument("--double", type=float)
+    p.add_argument("--range", nargs=2, type=float, metavar=("LOW", "HIGH"))
+    p.add_argument("--contains")
+    p.add_argument("--regex")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=cmd_lookup)
+
+    p = sub.add_parser("update", help="update a text node's value")
+    p.add_argument("db")
+    p.add_argument("nid", type=int)
+    p.add_argument("text")
+    p.set_defaults(fn=cmd_update)
+
+    p = sub.add_parser(
+        "checkpoint", help="snapshot the database and truncate the WAL"
+    )
+    p.add_argument("db")
+    p.set_defaults(fn=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "verify", help="re-derive and cross-check all index contents"
+    )
+    p.add_argument("db")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bench", help="run a paper experiment")
+    p.add_argument("experiment",
+                   choices=["table1", "figure9", "figure10", "figure11"])
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

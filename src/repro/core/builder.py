@@ -1,0 +1,174 @@
+"""Index creation — the skeleton algorithm of paper Figure 7.
+
+One depth-first pass over the document computes the field (hash value
+or FSM state/fragment) of **every** node, for **all** registered
+indices simultaneously: "since all indices are independent of each
+other, creating and updating multiple defined indices can be done
+simultaneously with only one pass".
+
+The pass walks pre order with an explicit stack of open containers;
+text nodes evaluate ``H``/the FSM, and when a container closes its
+accumulated field folds into its parent via ``C``/the SCT — exactly
+the control flow of Figure 7, expressed over the pre/size columns.
+
+Attribute nodes are indexed on their own value but do not contribute
+to their element's string value (XDM); comments and PIs are not
+indexed and contribute nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from ..xmldb.document import ATTR, DOC, ELEM, TEXT, Document
+
+__all__ = ["ValueIndex", "build_document", "compute_fields"]
+
+
+class ValueIndex(Protocol):
+    """What builder/updater need from an index (string or typed)."""
+
+    identity: object
+
+    def field_of_text(self, text: str) -> object: ...
+
+    def combine(self, left: object, right: object) -> object: ...
+
+    def begin_bulk(self) -> None: ...
+
+    def stage_entry(self, nid: int, field: object) -> None: ...
+
+    def finish_bulk(self) -> None: ...
+
+    def set_entry(self, nid: int, field: object) -> None: ...
+
+    def remove_entry(self, nid: int) -> None: ...
+
+    def field_of(self, nid: int) -> object: ...
+
+
+def compute_fields(
+    doc: Document,
+    start: int,
+    end: int,
+    indexes: Sequence[ValueIndex],
+    bulk: bool,
+) -> None:
+    """Compute and store fields for all rows in ``[start, end]``.
+
+    The range must cover complete subtrees (as pre ranges of siblings
+    do).  With ``bulk`` the entries are staged for bulk-loading
+    (creation); otherwise they go through ``set_entry`` (structural
+    updates over freshly inserted subtrees).
+    """
+    kinds = doc.kind
+    sizes = doc.size
+    nids = doc.nid
+    enter = [index.stage_entry if bulk else index.set_entry for index in indexes]
+    k = len(indexes)
+    # Pre-compute leaf fields; indices with a batch hook (the string
+    # index hashes all values vectorised) exploit it.
+    leaf_pres = [
+        pre
+        for pre in range(start, end + 1)
+        if kinds[pre] in (TEXT, ATTR)
+    ]
+    leaf_texts = [doc.text_of(pre) for pre in leaf_pres]
+    leaf_fields: list[dict[int, object]] = []
+    for index in indexes:
+        batch = getattr(index, "field_of_texts", None)
+        if batch is not None:
+            fields = batch(leaf_texts)
+        else:
+            field_of_text = index.field_of_text
+            fields = [field_of_text(text) for text in leaf_texts]
+        leaf_fields.append(dict(zip(leaf_pres, fields)))
+    if k == 1:
+        _compute_fields_single(
+            doc, start, end, indexes[0], enter[0], leaf_fields[0]
+        )
+        return
+    # Stack frames: (subtree_end_pre, nid, [accumulator per index]).
+    stack: list[tuple[int, int, list]] = []
+    pre = start
+    while pre <= end or stack:
+        # Close finished containers before (or after) advancing.
+        while stack and (pre > end or pre > stack[-1][0]):
+            _closed_end, nid, fields = stack.pop()
+            for i in range(k):
+                enter[i](nid, fields[i])
+            if stack:
+                parent_fields = stack[-1][2]
+                for i in range(k):
+                    parent_fields[i] = indexes[i].combine(
+                        parent_fields[i], fields[i]
+                    )
+        if pre > end:
+            break
+        kind = kinds[pre]
+        if kind in (ELEM, DOC):
+            stack.append(
+                (pre + sizes[pre], nids[pre], [index.identity for index in indexes])
+            )
+        elif kind == TEXT:
+            for i in range(k):
+                field = leaf_fields[i][pre]
+                enter[i](nids[pre], field)
+                if stack:
+                    fields = stack[-1][2]
+                    fields[i] = indexes[i].combine(fields[i], field)
+        elif kind == ATTR:
+            # Indexed on its own value; no contribution to the parent.
+            for i in range(k):
+                enter[i](nids[pre], leaf_fields[i][pre])
+        # COMMENT/PI: not indexed, nothing contributed.
+        pre += 1
+
+
+def _compute_fields_single(
+    doc: Document,
+    start: int,
+    end: int,
+    index: ValueIndex,
+    enter,
+    leaf_fields: dict[int, object],
+) -> None:
+    """Single-index fast path of :func:`compute_fields` (identical
+    traversal, no per-index inner loops — index creation is hot)."""
+    kinds = doc.kind
+    sizes = doc.size
+    nids = doc.nid
+    combine = index.combine
+    identity = index.identity
+    stack: list[list] = []  # [subtree_end_pre, nid, accumulator]
+    pre = start
+    while pre <= end or stack:
+        while stack and (pre > end or pre > stack[-1][0]):
+            _closed_end, nid, field = stack.pop()
+            enter(nid, field)
+            if stack:
+                top = stack[-1]
+                top[2] = combine(top[2], field)
+        if pre > end:
+            break
+        kind = kinds[pre]
+        if kind in (ELEM, DOC):
+            stack.append([pre + sizes[pre], nids[pre], identity])
+        elif kind == TEXT:
+            field = leaf_fields[pre]
+            enter(nids[pre], field)
+            if stack:
+                top = stack[-1]
+                top[2] = combine(top[2], field)
+        elif kind == ATTR:
+            enter(nids[pre], leaf_fields[pre])
+        pre += 1
+
+
+def build_document(doc: Document, indexes: Sequence[ValueIndex]) -> None:
+    """Create all ``indexes`` over ``doc`` in a single pass (Figure 7)."""
+    for index in indexes:
+        index.begin_bulk()
+    compute_fields(doc, 0, len(doc) - 1, indexes, bulk=True)
+    for index in indexes:
+        index.finish_bulk()

@@ -1,0 +1,30 @@
+"""Finite state machines, transition monoids (SCTs) and type plugins.
+
+This package implements Section 4 of the paper: per-type lexical DFAs,
+the normalised-FSM/SCT construction (as the DFA's transition monoid),
+and the fragment algebra the typed range index stores per node.
+"""
+
+from .fragment import Fragment, REJECT_FRAGMENT, Token, TypePlugin
+from .machine import DEAD, Dfa, DfaSpec
+from .monoid import REJECT, TransitionMonoid
+from .pattern import PatternError, compile_pattern, pattern_plugin
+from .registry import available_types, get_plugin, register_type
+
+__all__ = [
+    "DEAD",
+    "REJECT",
+    "REJECT_FRAGMENT",
+    "Dfa",
+    "DfaSpec",
+    "Fragment",
+    "Token",
+    "PatternError",
+    "TransitionMonoid",
+    "TypePlugin",
+    "compile_pattern",
+    "pattern_plugin",
+    "available_types",
+    "get_plugin",
+    "register_type",
+]

@@ -1,0 +1,73 @@
+"""``xs:boolean`` lexical machine (``true``/``false``/``1``/``0``).
+
+Included to show the technique handles word-shaped lexical spaces:
+every letter is its own character class, and the monoid/SCT machinery
+is identical to the numeric types.  Booleans order ``false < true``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .fragment import Token, TypePlugin
+from .machine import DfaSpec
+
+__all__ = ["BOOLEAN_SPEC", "make_boolean_plugin"]
+
+BOOLEAN_SPEC = DfaSpec(
+    name="boolean",
+    states=[
+        "start",
+        "t1", "t2", "t3", "true",  # t, tr, tru, true
+        "f1", "f2", "f3", "f4", "false",  # f, fa, fal, fals, false
+        "bit",  # 0 or 1
+        "wsend",
+    ],
+    initial="start",
+    finals={"true", "false", "bit", "wsend"},
+    classes={
+        "ws": " \t\n\r",
+        "bit": "01",
+        "t": "t",
+        "r": "r",
+        "u": "u",
+        "e": "e",
+        "f": "f",
+        "a": "a",
+        "l": "l",
+        "s": "s",
+    },
+    transitions={
+        ("start", "ws"): "start",
+        ("start", "bit"): "bit",
+        ("start", "t"): "t1",
+        ("t1", "r"): "t2",
+        ("t2", "u"): "t3",
+        ("t3", "e"): "true",
+        ("start", "f"): "f1",
+        ("f1", "a"): "f2",
+        ("f2", "l"): "f3",
+        ("f3", "s"): "f4",
+        ("f4", "e"): "false",
+        ("true", "ws"): "wsend",
+        ("false", "ws"): "wsend",
+        ("bit", "ws"): "wsend",
+        ("wsend", "ws"): "wsend",
+    },
+)
+
+
+def _cast_boolean(plugin: TypePlugin, tokens: Sequence[Token]) -> bool | None:
+    text = plugin.render(tokens).strip()
+    return {"true": True, "1": True, "false": False, "0": False}.get(text)
+
+
+def make_boolean_plugin() -> TypePlugin:
+    return TypePlugin(
+        name="boolean",
+        dfa=BOOLEAN_SPEC.compile(),
+        cast=_cast_boolean,
+        run_classes=("bit",),
+        collapse_classes=("ws",),
+        spellings={"ws": " "},
+    )

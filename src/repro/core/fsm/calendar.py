@@ -1,0 +1,45 @@
+"""Proleptic Gregorian calendar arithmetic for the temporal machines.
+
+Implemented from scratch (rata-die style) so the temporal typed indices
+carry no dependency on ``datetime``'s year range: XML Schema permits
+years outside 1..9999 and this module handles them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_leap_year", "days_in_month", "days_from_civil"]
+
+_DAYS_BEFORE_MONTH = (0, 0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+def is_leap_year(year: int) -> bool:
+    """Proleptic Gregorian leap-year rule."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in ``month`` of ``year`` (month in 1..12)."""
+    if month == 2 and is_leap_year(year):
+        return 29
+    return (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)[month - 1]
+
+
+def days_from_civil(year: int, month: int, day: int) -> int:
+    """Days since 1970-01-01 of a proleptic Gregorian date.
+
+    Valid for any integer year (including negative years, interpreted
+    astronomically: year 0 exists and is a leap year).
+    """
+    prior_years = year - 1
+    days = (
+        prior_years * 365
+        + prior_years // 4
+        - prior_years // 100
+        + prior_years // 400
+    )
+    days += _DAYS_BEFORE_MONTH[month]
+    if month > 2 and is_leap_year(year):
+        days += 1
+    days += day - 1
+    # Rebase from 0001-01-01 (rata die day 0 above) to the Unix epoch.
+    return days - 719162

@@ -1,0 +1,159 @@
+"""``xs:duration`` lexical machine (``-P1Y2M3DT4H5M6.7S``).
+
+A qualitatively different lexical space from the numeric and temporal
+types: unit-tagged components with ordering constraints (Y before M
+before D; after ``T``, H before M before S), which makes the monoid
+construction work harder and is therefore a good stress of the
+generic framework.
+
+Ordering note: XML Schema's ``xs:duration`` is only *partially*
+ordered (``P1M`` vs ``P30D`` is indeterminate).  To serve a range
+index, the cast maps a duration onto seconds with the average
+Gregorian month (2,629,746 s, as in XQuery's implementation-defined
+total order); the exactly-ordered XQuery subtypes correspond to
+durations using only year/month or only day/time components.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Sequence
+
+from .fragment import Token, TypePlugin
+from .machine import DfaSpec
+
+__all__ = ["DURATION_SPEC", "make_duration_plugin"]
+
+#: Average Gregorian month in seconds (400-year cycle / 4800 months).
+SECONDS_PER_MONTH = 2_629_746
+
+_CLASSES = {
+    "ws": " \t\n\r",
+    "digit": "0123456789",
+    "dash": "-",
+    "P": "P",
+    "Y": "Y",
+    "M": "M",
+    "D": "D",
+    "T": "T",
+    "H": "H",
+    "S": "S",
+    "dot": ".",
+}
+
+DURATION_SPEC = DfaSpec(
+    name="duration",
+    states=[
+        "start", "sgn", "p0",
+        "n1", "y", "n2", "mo", "n3", "d",  # date components
+        "t0", "tn1", "h", "tn2", "mi", "tn3",  # time components
+        "tfrac0", "tfrac", "s",
+        "wsend",
+    ],
+    initial="start",
+    finals={"y", "mo", "d", "h", "mi", "s", "wsend"},
+    classes=_CLASSES,
+    transitions={
+        ("start", "ws"): "start",
+        ("start", "dash"): "sgn",
+        ("start", "P"): "p0",
+        ("sgn", "P"): "p0",
+        # Date part: digits then a unit; units must appear in Y, M, D order.
+        ("p0", "digit"): "n1",
+        ("p0", "T"): "t0",
+        ("n1", "digit"): "n1",
+        ("n1", "Y"): "y",
+        ("n1", "M"): "mo",
+        ("n1", "D"): "d",
+        ("y", "digit"): "n2",
+        ("y", "T"): "t0",
+        ("y", "ws"): "wsend",
+        ("n2", "digit"): "n2",
+        ("n2", "M"): "mo",
+        ("n2", "D"): "d",
+        ("mo", "digit"): "n3",
+        ("mo", "T"): "t0",
+        ("mo", "ws"): "wsend",
+        ("n3", "digit"): "n3",
+        ("n3", "D"): "d",
+        ("d", "T"): "t0",
+        ("d", "ws"): "wsend",
+        # Time part: digits then H, M, S in order; fraction before S.
+        ("t0", "digit"): "tn1",
+        ("tn1", "digit"): "tn1",
+        ("tn1", "H"): "h",
+        ("tn1", "M"): "mi",
+        ("tn1", "S"): "s",
+        ("tn1", "dot"): "tfrac0",
+        ("h", "digit"): "tn2",
+        ("h", "ws"): "wsend",
+        ("tn2", "digit"): "tn2",
+        ("tn2", "M"): "mi",
+        ("tn2", "S"): "s",
+        ("tn2", "dot"): "tfrac0",
+        ("mi", "digit"): "tn3",
+        ("mi", "ws"): "wsend",
+        ("tn3", "digit"): "tn3",
+        ("tn3", "S"): "s",
+        ("tn3", "dot"): "tfrac0",
+        ("tfrac0", "digit"): "tfrac",
+        ("tfrac", "digit"): "tfrac",
+        ("tfrac", "S"): "s",
+        ("s", "ws"): "wsend",
+        ("wsend", "ws"): "wsend",
+    },
+)
+
+_UNIT_SECONDS = {
+    "Y": 12 * SECONDS_PER_MONTH,
+    "M": SECONDS_PER_MONTH,  # in the date part
+    "D": 86400,
+    "H": 3600,
+    "S": 1,
+}
+
+
+def _cast_duration(plugin: TypePlugin, tokens: Sequence[Token]) -> Decimal | None:
+    class_names = plugin.dfa.class_names
+    total = Decimal(0)
+    sign = 1
+    in_time_part = False
+    pending: Decimal | None = None
+    for cid, payload, length in tokens:
+        cls = class_names[cid]
+        if cls == "ws" or cls == "P":
+            continue
+        if cls == "dash":
+            sign = -1
+        elif cls == "T":
+            in_time_part = True
+        elif cls == "digit":
+            if pending is None:
+                pending = Decimal(payload)
+            else:
+                # Digits after a '.': a fraction of the pending seconds.
+                pending += Decimal(payload) / (Decimal(10) ** length)
+        elif cls == "dot":
+            if pending is None:
+                return None  # pragma: no cover - DFA prevents this
+        else:
+            if pending is None:
+                return None  # pragma: no cover - DFA prevents this
+            if cls == "M" and in_time_part:
+                total += pending * 60
+            else:
+                total += pending * _UNIT_SECONDS[cls]
+            pending = None
+    return sign * total
+
+
+def make_duration_plugin() -> TypePlugin:
+    return TypePlugin(
+        name="duration",
+        dfa=DURATION_SPEC.compile(),
+        cast=_cast_duration,
+        run_classes=("digit",),
+        collapse_classes=("ws",),
+        spellings={"ws": " "},
+        max_elements=4096,
+    )

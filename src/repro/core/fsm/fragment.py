@@ -1,0 +1,281 @@
+"""Fragments: the typed-index per-node payload and its combination.
+
+A *fragment* is what the typed range index stores for one XML node: the
+node's monoid state (the paper's one-byte state) plus a compact token
+payload from which the typed value of any *combination* of fragments
+can be computed without re-reading document text.  This plays the role
+of the paper's ``[value, state]`` pair — "the indexed tuples are used
+during creation or update of the typed XML indices to reconstruct the
+lexical representation of a specific node, without accessing the
+document data" — but is lossless: digit runs are stored as
+``(value, length)`` integer pairs, so ``".0" + "5"`` and ``".05"``
+combine exactly even though a bare double value could not represent
+them.
+
+Tokens are triples ``(class_id, payload, length)``:
+
+* *run* classes (digits) store the run as ``payload = int(run)`` with
+  its ``length`` (preserving leading zeros);
+* *collapse* classes (whitespace) store a single collapsed token, which
+  is sound because their generator is idempotent in the monoid (checked
+  at plugin construction);
+* *char* classes (signs) store the concrete character as payload;
+* other classes (dot, exponent marker, date separators ...) have a
+  fixed spelling per class and carry no payload.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .machine import Dfa
+from .monoid import REJECT, TransitionMonoid
+
+__all__ = ["Token", "Fragment", "REJECT_FRAGMENT", "TypePlugin"]
+
+Token = tuple[int, object, int]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A node's typed-index entry: monoid state + token payload.
+
+    ``tokens`` is ``None`` exactly when ``state == REJECT`` — rejected
+    nodes store nothing (the paper's storage argument).
+    """
+
+    state: int
+    tokens: tuple[Token, ...] | None
+
+    @property
+    def is_rejected(self) -> bool:
+        return self.state == REJECT
+
+
+REJECT_FRAGMENT = Fragment(REJECT, None)
+
+
+class TypePlugin:
+    """Everything the typed index needs for one XML type.
+
+    Args:
+        name: XML Schema type name (``"double"``, ``"dateTime"`` ...).
+        dfa: Compiled lexical DFA of the type.
+        cast: ``cast(plugin, tokens) -> value | None`` — compute the
+            comparable typed value of a castable fragment; ``None`` for
+            fragments that pass the DFA but fail semantic checks (e.g.
+            month 13 in a dateTime).
+        run_classes: Names of digit-run classes.
+        collapse_classes: Names of whitespace-like classes whose runs
+            collapse to one token (their generators must be idempotent).
+        char_classes: Names of classes whose concrete character matters
+            (signs).
+        spellings: Canonical spelling per remaining class, used by
+            :meth:`render`; defaults to the class's first character.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dfa: Dfa,
+        cast: Callable[["TypePlugin", Sequence[Token]], object],
+        run_classes: Iterable[str] = (),
+        collapse_classes: Iterable[str] = (),
+        char_classes: Iterable[str] = (),
+        spellings: dict[str, str] | None = None,
+        max_elements: int = 255,
+    ):
+        self.name = name
+        # Minimise first: fewer DFA states -> smaller monoid and SCT.
+        self.dfa = dfa.minimize()
+        self.monoid = TransitionMonoid(self.dfa, max_elements=max_elements)
+        self._cast = cast
+        class_ids = {cls: i for i, cls in enumerate(dfa.class_names)}
+        self.run_class_ids = frozenset(class_ids[c] for c in run_classes)
+        self.collapse_class_ids = frozenset(class_ids[c] for c in collapse_classes)
+        self.char_class_ids = frozenset(class_ids[c] for c in char_classes)
+        for cid in self.collapse_class_ids:
+            gen = self.monoid.generator(cid)
+            if not self.monoid.is_idempotent(gen):
+                raise ValueError(
+                    f"{name}: class {dfa.class_names[cid]!r} cannot collapse "
+                    "(its generator is not idempotent)"
+                )
+        # Canonical spelling for classes with no payload.
+        chars_by_class: dict[int, list[str]] = {}
+        for ch, cid in sorted(dfa.char_class.items()):
+            chars_by_class.setdefault(cid, []).append(ch)
+        self._spelling = {}
+        for cid, chars in chars_by_class.items():
+            cls = dfa.class_names[cid]
+            if spellings and cls in spellings:
+                self._spelling[cid] = spellings[cls]
+            else:
+                self._spelling[cid] = chars[0]
+        # Fast pre-filter: any character outside the alphabet rejects
+        # the whole fragment (the paper: "the majority of all text nodes
+        # ... will be rejected immediately").
+        alphabet = "".join(sorted(dfa.char_class))
+        self._illegal_re = re.compile(f"[^{re.escape(alphabet)}]")
+        # Token scanner: one alternative per class, run/collapse classes
+        # match greedily.
+        parts = []
+        for cid, chars in sorted(chars_by_class.items()):
+            body = "".join(re.escape(c) for c in chars)
+            multi = "+" if cid in self.run_class_ids | self.collapse_class_ids else ""
+            parts.append(f"(?P<c{cid}>[{body}]{multi})")
+        self._token_re = re.compile("|".join(parts))
+        #: The fragment of the empty string (identity of combination).
+        self.empty_fragment = Fragment(self.monoid.identity, ())
+
+    # ------------------------------------------------------------------
+    # Tokenisation and state computation
+    # ------------------------------------------------------------------
+
+    def tokenize(self, text: str) -> tuple[Token, ...] | None:
+        """Split legal text into tokens; ``None`` on any illegal char."""
+        if self._illegal_re.search(text):
+            return None
+        tokens: list[Token] = []
+        for match in self._token_re.finditer(text):
+            cid = int(match.lastgroup[1:])  # group names are c<id>
+            run = match.group()
+            if cid in self.run_class_ids:
+                tokens.append((cid, int(run), len(run)))
+            elif cid in self.collapse_class_ids:
+                tokens.append((cid, None, 1))
+            elif cid in self.char_class_ids:
+                tokens.append((cid, run, 1))
+            else:
+                tokens.append((cid, None, 1))
+        return tuple(tokens)
+
+    def state_of_tokens(self, tokens: Sequence[Token]) -> int:
+        """Monoid element induced by a token sequence."""
+        monoid = self.monoid
+        state = monoid.identity
+        table = monoid.table
+        for cid, _payload, length in tokens:
+            if length > 1:
+                element = monoid.class_run(cid, length)
+            else:
+                element = monoid.generator_ids[cid]
+            state = table[state][element]
+            if state == REJECT:
+                return REJECT
+        return state
+
+    def fragment_of_text(self, text: str) -> Fragment:
+        """Run the FSM over a text node's value (paper Figure 7 line 7).
+
+        Returns :data:`REJECT_FRAGMENT` for values that are not
+        potential valid lexical representations; useless states (no
+        completion can ever accept) are folded into rejection, which is
+        the paper's early-reject optimisation.
+        """
+        tokens = self.tokenize(text)
+        if tokens is None:
+            return REJECT_FRAGMENT
+        state = self.state_of_tokens(tokens)
+        if state == REJECT or not self.monoid.useful[state]:
+            return REJECT_FRAGMENT
+        return Fragment(state, tokens)
+
+    # ------------------------------------------------------------------
+    # Combination (the SCT step) and casting
+    # ------------------------------------------------------------------
+
+    def combine(self, left: Fragment, right: Fragment) -> Fragment:
+        """Combine adjacent fragments: SCT probe + token merge."""
+        if left.state == REJECT or right.state == REJECT:
+            return REJECT_FRAGMENT
+        state = self.monoid.table[left.state][right.state]
+        if state == REJECT or not self.monoid.useful[state]:
+            return REJECT_FRAGMENT
+        return Fragment(state, self._merge(left.tokens, right.tokens))
+
+    def combine_all(self, fragments: Iterable[Fragment]) -> Fragment:
+        """Fold :meth:`combine` left to right; empty input ⇒ empty fragment."""
+        result = self.empty_fragment
+        for fragment in fragments:
+            if fragment.state == REJECT:
+                return REJECT_FRAGMENT
+            result = self.combine(result, fragment)
+            if result.state == REJECT:
+                return REJECT_FRAGMENT
+        return result
+
+    def _merge(
+        self, left: tuple[Token, ...], right: tuple[Token, ...]
+    ) -> tuple[Token, ...]:
+        if not left:
+            return right
+        if not right:
+            return left
+        l_cid, l_payload, l_len = left[-1]
+        r_cid, r_payload, r_len = right[0]
+        if l_cid != r_cid:
+            return left + right
+        if l_cid in self.run_class_ids:
+            merged = (l_cid, l_payload * 10 ** r_len + r_payload, l_len + r_len)
+            return left[:-1] + (merged,) + right[1:]
+        if l_cid in self.collapse_class_ids:
+            return left + right[1:]
+        return left + right
+
+    def is_castable(self, fragment: Fragment) -> bool:
+        """True iff the fragment alone is a complete lexical value."""
+        return self.monoid.castable[fragment.state]
+
+    def cast(self, fragment: Fragment) -> object:
+        """Typed value of a castable fragment; ``None`` if not castable
+        or semantically invalid."""
+        if fragment.tokens is None or not self.monoid.castable[fragment.state]:
+            return None
+        return self._cast(self, fragment.tokens)
+
+    def value_of_text(self, text: str) -> object:
+        """Convenience: tokenize, check and cast in one call."""
+        return self.cast(self.fragment_of_text(text))
+
+    # ------------------------------------------------------------------
+    # Rendering (lexical reconstruction)
+    # ------------------------------------------------------------------
+
+    def render(self, tokens: Sequence[Token]) -> str:
+        """Reconstruct a canonical lexical spelling of a fragment.
+
+        This realises the paper's example of deriving ``"26E+"`` from
+        value 26 and state s7 — except our payload keeps digit-run
+        lengths, so leading zeros survive.
+        """
+        parts = []
+        for cid, payload, length in tokens:
+            if cid in self.run_class_ids:
+                parts.append(str(payload).rjust(length, "0"))
+            elif cid in self.char_class_ids:
+                parts.append(payload)
+            else:
+                parts.append(self._spelling[cid])
+        return "".join(parts)
+
+    def byte_size_of(self, fragment: Fragment) -> int:
+        """Modelled storage footprint of a stored fragment (bytes).
+
+        One byte for the state (the paper's claim; two if the monoid
+        outgrew a byte) plus the token payload: 1 byte per marker token
+        and ``ceil(digits/2)`` bytes per digit run (BCD-style), matching
+        the "no string replication" accounting used in the storage
+        experiment.
+        """
+        if fragment.state == REJECT:
+            return 0
+        size = 1 if len(self.monoid) <= 256 else 2
+        for cid, _payload, length in fragment.tokens:
+            if cid in self.run_class_ids:
+                size += (length + 1) // 2
+            else:
+                size += 1
+        return size

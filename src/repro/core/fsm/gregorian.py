@@ -1,0 +1,162 @@
+"""Gregorian partial-date machines: gYear, gYearMonth, gMonth, gDay,
+gMonthDay.
+
+These XSD types index recurring/partial dates (``2008``, ``2008-12``,
+``--12-25``).  They complete the demonstration that the FSM/SCT recipe
+covers the whole family of ordered XML Schema built-ins: each is a
+dozen-line DFA plus a cast.
+
+Values map to integers with natural within-type ordering (years,
+months-since-year-0, month/day codes); the optional timezone suffix is
+accepted lexically and ignored for ordering (these types recur, so a
+total order across zones is already a convention, as with duration).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .fragment import Token, TypePlugin
+from .machine import DfaSpec
+from .temporal import _CLASSES, _tz_suffix
+
+__all__ = [
+    "make_gyear_plugin",
+    "make_gyearmonth_plugin",
+    "make_gmonth_plugin",
+    "make_gday_plugin",
+    "make_gmonthday_plugin",
+]
+
+
+def _spec(name: str, digit_groups: list[int], leading_dashes: int) -> DfaSpec:
+    """Build ``(-)*DD(-DD)*`` shaped specs with the shared tz suffix.
+
+    ``digit_groups`` lists the digit counts per group; groups after the
+    first are separated by a dash; ``leading_dashes`` prefixes (for the
+    ``--MM`` family).  gYear additionally allows a negative sign, which
+    callers encode as one extra leading dash alternative.
+    """
+    states = ["start"]
+    transitions: dict = {("start", "ws"): "start"}
+    previous = "start"
+    for i in range(leading_dashes):
+        state = f"lead{i}"
+        states.append(state)
+        transitions[(previous, "dash")] = state
+        previous = state
+    final_states: list[str] = []
+    for group, count in enumerate(digit_groups):
+        if group > 0:
+            separator = f"sep{group}"
+            states.append(separator)
+            transitions[(previous, "dash")] = separator
+            previous = separator
+        for digit in range(count):
+            state = f"g{group}d{digit}"
+            states.append(state)
+            transitions[(previous, "digit")] = state
+            previous = state
+        final_states.append(previous)
+    last = final_states[-1]
+    _tz_suffix(transitions, states, [last])
+    return DfaSpec(
+        name=name,
+        states=states,
+        initial="start",
+        finals={last, "tzz", "tzm2", "wsend"},
+        classes=_CLASSES,
+        transitions=transitions,
+    )
+
+
+def _digit_runs(plugin: TypePlugin, tokens: Sequence[Token]) -> list[int]:
+    digit = plugin.dfa.class_names.index("digit")
+    runs = [payload for cid, payload, _l in tokens if cid == digit]
+    return runs
+
+
+def _make_cast(expected_groups: int, validate):
+    def cast(plugin: TypePlugin, tokens: Sequence[Token]):
+        runs = _digit_runs(plugin, tokens)
+        # Timezone hh/mm digit runs may follow the date groups.
+        values = runs[:expected_groups]
+        if len(values) < expected_groups:
+            return None  # pragma: no cover - DFA prevents this
+        return validate(values)
+
+    return cast
+
+
+def _gyear_value(values):
+    return values[0]
+
+
+def _gyearmonth_value(values):
+    year, month = values
+    if not 1 <= month <= 12:
+        return None
+    return year * 12 + (month - 1)
+
+
+def _gmonth_value(values):
+    month = values[0]
+    return month if 1 <= month <= 12 else None
+
+
+def _gday_value(values):
+    day = values[0]
+    return day if 1 <= day <= 31 else None
+
+
+def _gmonthday_value(values):
+    month, day = values
+    if not 1 <= month <= 12 or not 1 <= day <= 31:
+        return None
+    return month * 100 + day
+
+
+def _plugin(name: str, spec: DfaSpec, cast) -> TypePlugin:
+    return TypePlugin(
+        name=name,
+        dfa=spec.compile(),
+        cast=cast,
+        run_classes=("digit",),
+        collapse_classes=("ws",),
+        spellings={"ws": " "},
+        max_elements=1024,
+    )
+
+
+def make_gyear_plugin() -> TypePlugin:
+    return _plugin(
+        "gYear", _spec("gYear", [4], 0), _make_cast(1, _gyear_value)
+    )
+
+
+def make_gyearmonth_plugin() -> TypePlugin:
+    return _plugin(
+        "gYearMonth",
+        _spec("gYearMonth", [4, 2], 0),
+        _make_cast(2, _gyearmonth_value),
+    )
+
+
+def make_gmonth_plugin() -> TypePlugin:
+    return _plugin(
+        "gMonth", _spec("gMonth", [2], 2), _make_cast(1, _gmonth_value)
+    )
+
+
+def make_gday_plugin() -> TypePlugin:
+    return _plugin(
+        "gDay", _spec("gDay", [2], 3), _make_cast(1, _gday_value)
+    )
+
+
+def make_gmonthday_plugin() -> TypePlugin:
+    return _plugin(
+        "gMonthDay",
+        _spec("gMonthDay", [2, 2], 2),
+        _make_cast(2, _gmonthday_value),
+    )

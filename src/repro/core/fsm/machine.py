@@ -1,0 +1,232 @@
+"""Deterministic finite automata over character classes.
+
+The typed range indices of the paper (Section 4) are driven by a finite
+state machine per XML type that recognises the type's lexical space.
+This module provides the declarative DFA description those machines are
+written in, and compiles it into dense transition tables.
+
+A :class:`DfaSpec` names its states and groups the input alphabet into
+*character classes* (all digits behave identically, ``e`` and ``E``
+behave identically, ...).  Characters outside every class send the
+machine to the implicit dead state, which is how the paper's FSM
+"return[s] a reject state if an illegal sequence of characters is
+encountered".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["DfaSpec", "Dfa", "DEAD"]
+
+#: Compiled id of the dead (reject) state.  Always state 0.
+DEAD = 0
+
+
+@dataclass(frozen=True)
+class DfaSpec:
+    """Declarative description of a typed-value DFA.
+
+    Attributes:
+        name: Human-readable machine name (e.g. ``"double"``).
+        states: State names; order is preserved in the compiled DFA
+            (after the implicit dead state, which is always first).
+        initial: Name of the initial state.
+        finals: Names of accepting states (a value read from the initial
+            state to a final state is *castable* to the type).
+        classes: Mapping of class name to the characters it contains.
+            Classes must be disjoint.
+        transitions: ``(state, class) -> state`` edges.  Missing edges go
+            to the dead state.
+    """
+
+    name: str
+    states: Sequence[str]
+    initial: str
+    finals: frozenset[str] | set[str]
+    classes: Mapping[str, str]
+    transitions: Mapping[tuple[str, str], str] = field(default_factory=dict)
+
+    def compile(self) -> "Dfa":
+        """Validate the spec and build the dense :class:`Dfa`."""
+        if self.initial not in self.states:
+            raise ValueError(f"initial state {self.initial!r} not in states")
+        unknown_finals = set(self.finals) - set(self.states)
+        if unknown_finals:
+            raise ValueError(f"unknown final states: {sorted(unknown_finals)}")
+        seen_chars: dict[str, str] = {}
+        for cls, chars in self.classes.items():
+            for ch in chars:
+                if ch in seen_chars:
+                    raise ValueError(
+                        f"character {ch!r} in classes {seen_chars[ch]!r} and {cls!r}"
+                    )
+                seen_chars[ch] = cls
+        state_ids = {name: i + 1 for i, name in enumerate(self.states)}
+        class_names = list(self.classes)
+        class_ids = {name: i for i, name in enumerate(class_names)}
+        n_states = len(self.states) + 1  # + dead
+        n_classes = len(class_names)
+        table = [[DEAD] * n_classes for _ in range(n_states)]
+        for (src, cls), dst in self.transitions.items():
+            if src not in state_ids:
+                raise ValueError(f"transition from unknown state {src!r}")
+            if dst not in state_ids:
+                raise ValueError(f"transition to unknown state {dst!r}")
+            if cls not in class_ids:
+                raise ValueError(f"transition on unknown class {cls!r}")
+            table[state_ids[src]][class_ids[cls]] = state_ids[dst]
+        char_class = {ch: class_ids[cls] for ch, cls in seen_chars.items()}
+        return Dfa(
+            name=self.name,
+            state_names=["<dead>"] + list(self.states),
+            class_names=class_names,
+            char_class=char_class,
+            initial=state_ids[self.initial],
+            finals=frozenset(state_ids[f] for f in self.finals),
+            table=tuple(tuple(row) for row in table),
+        )
+
+
+@dataclass(frozen=True)
+class Dfa:
+    """A compiled DFA.  State 0 is the dead (reject) state."""
+
+    name: str
+    state_names: list[str]
+    class_names: list[str]
+    char_class: dict[str, int]
+    initial: int
+    finals: frozenset[int]
+    table: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.table)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def classify(self, char: str) -> int | None:
+        """Return the class id of ``char``, or ``None`` if it is illegal."""
+        return self.char_class.get(char)
+
+    def step(self, state: int, char: str) -> int:
+        """Advance one character; illegal characters go to ``DEAD``."""
+        cls = self.char_class.get(char)
+        if cls is None:
+            return DEAD
+        return self.table[state][cls]
+
+    def run(self, text: str, state: int | None = None) -> int:
+        """Run the machine over ``text`` from ``state`` (default initial)."""
+        cur = self.initial if state is None else state
+        table = self.table
+        char_class = self.char_class
+        for ch in text:
+            cls = char_class.get(ch)
+            if cls is None:
+                return DEAD
+            cur = table[cur][cls]
+            if cur == DEAD:
+                return DEAD
+        return cur
+
+    def accepts(self, text: str) -> bool:
+        """True iff ``text`` is a complete lexical value of the type."""
+        return self.run(text) in self.finals
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the initial state (excluding dead)."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.table[state]:
+                if nxt != DEAD and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def minimize(self) -> "Dfa":
+        """Language-preserving state minimisation (Moore refinement).
+
+        Equivalent states collapse into one; unreachable states vanish.
+        A smaller DFA gives a smaller transition monoid and SCT, so the
+        type plugins minimise their machines before building monoids.
+        The dead state stays state 0.
+        """
+        reachable = sorted(self.reachable_states() | {DEAD})
+        index_of = {state: i for i, state in enumerate(reachable)}
+        n = len(reachable)
+        # Initial partition: finals vs the rest (dead among the rest).
+        block = [
+            1 if state in self.finals else 0 for state in reachable
+        ]
+        while True:
+            # Signature: own block + successor blocks per class.
+            signatures: dict[tuple, int] = {}
+            new_block = [0] * n
+            for i, state in enumerate(reachable):
+                successors = tuple(
+                    block[index_of.get(self.table[state][cls], 0)]
+                    for cls in range(self.n_classes)
+                )
+                signature = (block[i], successors)
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block[i] = signatures[signature]
+            if new_block == block:
+                break
+            block = new_block
+        # Renumber blocks so the dead state's block is 0.
+        dead_block = block[index_of[DEAD]]
+        order: list[int] = [dead_block]
+        for b in block:
+            if b not in order:
+                order.append(b)
+        renumber = {b: i for i, b in enumerate(order)}
+        n_blocks = len(order)
+        table = [[DEAD] * self.n_classes for _ in range(n_blocks)]
+        names: list[str] = ["<dead>"] * n_blocks
+        for i, state in enumerate(reachable):
+            b = renumber[block[i]]
+            if b != 0 and state != DEAD and names[b] == "<dead>":
+                names[b] = self.state_names[state]
+            for cls in range(self.n_classes):
+                target = self.table[state][cls]
+                table[b][cls] = renumber[block[index_of.get(target, 0)]]
+        finals = frozenset(
+            renumber[block[index_of[state]]]
+            for state in self.finals
+            if state in index_of
+        )
+        return Dfa(
+            name=self.name,
+            state_names=names,
+            class_names=self.class_names,
+            char_class=self.char_class,
+            initial=renumber[block[index_of[self.initial]]],
+            finals=finals,
+            table=tuple(tuple(row) for row in table),
+        )
+
+    def coreachable_states(self) -> frozenset[int]:
+        """States from which some final state is reachable (incl. finals)."""
+        # Invert the transition relation, then walk back from the finals.
+        inverse: dict[int, set[int]] = {}
+        for src in range(self.n_states):
+            for dst in self.table[src]:
+                inverse.setdefault(dst, set()).add(src)
+        seen = set(self.finals)
+        frontier = list(self.finals)
+        while frontier:
+            state = frontier.pop()
+            for prev in inverse.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    frontier.append(prev)
+        seen.discard(DEAD)
+        return frozenset(seen)

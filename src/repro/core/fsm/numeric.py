@@ -1,0 +1,97 @@
+"""``xs:integer`` and ``xs:decimal`` lexical machines.
+
+Both are restrictions of the double machine (no exponent; integer also
+has no fraction).  They exist to demonstrate the paper's claim that the
+FSM/SCT technique applies to "any XML built-in type ... by applying the
+same ideas" — one DFA declaration per type is all it takes.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Sequence
+
+from .fragment import Token, TypePlugin
+from .machine import DfaSpec
+
+__all__ = ["INTEGER_SPEC", "DECIMAL_SPEC", "make_integer_plugin", "make_decimal_plugin"]
+
+INTEGER_SPEC = DfaSpec(
+    name="integer",
+    states=["start", "sign", "int", "wsend"],
+    initial="start",
+    finals={"int", "wsend"},
+    classes={"ws": " \t\n\r", "digit": "0123456789", "sign": "+-"},
+    transitions={
+        ("start", "ws"): "start",
+        ("start", "sign"): "sign",
+        ("start", "digit"): "int",
+        ("sign", "digit"): "int",
+        ("int", "digit"): "int",
+        ("int", "ws"): "wsend",
+        ("wsend", "ws"): "wsend",
+    },
+)
+
+DECIMAL_SPEC = DfaSpec(
+    name="decimal",
+    states=["start", "sign", "int", "dot0", "dotint", "frac", "wsend"],
+    initial="start",
+    finals={"int", "dotint", "frac", "wsend"},
+    classes={"ws": " \t\n\r", "digit": "0123456789", "sign": "+-", "dot": "."},
+    transitions={
+        ("start", "ws"): "start",
+        ("start", "sign"): "sign",
+        ("start", "digit"): "int",
+        ("start", "dot"): "dot0",
+        ("sign", "digit"): "int",
+        ("sign", "dot"): "dot0",
+        ("int", "digit"): "int",
+        ("int", "dot"): "dotint",
+        ("int", "ws"): "wsend",
+        ("dot0", "digit"): "frac",
+        ("dotint", "digit"): "frac",
+        ("dotint", "ws"): "wsend",
+        ("frac", "digit"): "frac",
+        ("frac", "ws"): "wsend",
+        ("wsend", "ws"): "wsend",
+    },
+)
+
+
+def _cast_integer(plugin: TypePlugin, tokens: Sequence[Token]) -> int | None:
+    try:
+        return int(plugin.render(tokens))
+    except ValueError:  # pragma: no cover - defensive
+        return None
+
+
+def _cast_decimal(plugin: TypePlugin, tokens: Sequence[Token]) -> Decimal | None:
+    try:
+        return Decimal(plugin.render(tokens).strip())
+    except InvalidOperation:  # pragma: no cover - defensive
+        return None
+
+
+def make_integer_plugin() -> TypePlugin:
+    return TypePlugin(
+        name="integer",
+        dfa=INTEGER_SPEC.compile(),
+        cast=_cast_integer,
+        run_classes=("digit",),
+        collapse_classes=("ws",),
+        char_classes=("sign",),
+        spellings={"ws": " "},
+    )
+
+
+def make_decimal_plugin() -> TypePlugin:
+    return TypePlugin(
+        name="decimal",
+        dfa=DECIMAL_SPEC.compile(),
+        cast=_cast_decimal,
+        run_classes=("digit",),
+        collapse_classes=("ws",),
+        char_classes=("sign",),
+        spellings={"ws": " "},
+    )

@@ -1,0 +1,57 @@
+"""Pattern-compiled presets for XSD string-flavoured types.
+
+These types have regular lexical spaces, so their plugins come straight
+from :func:`~repro.core.fsm.pattern.pattern_plugin` — each is one
+pattern plus (optionally) whitespace framing.  Name-shaped types use
+the ASCII subset of the XML name alphabet (documented deviation; the
+full Unicode name classes would need per-codepoint classes).
+
+Call :func:`register_presets` once to make them available to
+``IndexManager(typed=(...))`` by name.
+"""
+
+from __future__ import annotations
+
+from .pattern import pattern_plugin
+from .registry import register_type
+
+__all__ = ["PRESET_PATTERNS", "register_presets"]
+
+_WS = r"\s*"
+
+#: name -> fullmatch pattern for the type's lexical space.
+PRESET_PATTERNS: dict[str, str] = {
+    # RFC 3066-ish language tags: en, en-US, x-klingon-1.
+    "language": _WS + r"[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*" + _WS,
+    # Even-length hex strings (possibly empty).
+    "hexBinary": _WS + r"([0-9a-fA-F][0-9a-fA-F])*" + _WS,
+    # Name token: name characters, no structural restriction.
+    "NMTOKEN": _WS + r"[a-zA-Z0-9._:\-]+" + _WS,
+    # XML Name (ASCII subset): no leading digit/dot/dash.
+    "Name": _WS + r"[a-zA-Z_:][a-zA-Z0-9._:\-]*" + _WS,
+}
+
+
+def _trimmed(plugin, tokens) -> str:
+    """Default preset value: the matched text minus the ws framing."""
+    return plugin.render(tokens).strip()
+
+
+def _hex_value(plugin, tokens) -> str:
+    """hexBinary values compare case-insensitively (byte semantics)."""
+    return plugin.render(tokens).strip().upper()
+
+
+_CASTS = {"hexBinary": _hex_value}
+
+
+def register_presets() -> None:
+    """Register all preset types (idempotent)."""
+    for name, pattern in PRESET_PATTERNS.items():
+        cast = _CASTS.get(name, _trimmed)
+        register_type(
+            name,
+            lambda name=name, pattern=pattern, cast=cast: pattern_plugin(
+                name, pattern, cast=cast
+            ),
+        )

@@ -1,0 +1,71 @@
+"""Registry of the built-in type plugins.
+
+Plugins are built lazily and cached: monoid construction is cheap but
+not free, and every index over the same type can share one plugin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .boolean import make_boolean_plugin
+from .double import make_double_plugin
+from .duration import make_duration_plugin
+from .fragment import TypePlugin
+from .gregorian import (
+    make_gday_plugin,
+    make_gmonth_plugin,
+    make_gmonthday_plugin,
+    make_gyear_plugin,
+    make_gyearmonth_plugin,
+)
+from .numeric import make_decimal_plugin, make_integer_plugin
+from .temporal import make_date_plugin, make_datetime_plugin, make_time_plugin
+
+__all__ = ["get_plugin", "available_types", "register_type"]
+
+_FACTORIES: dict[str, Callable[[], TypePlugin]] = {
+    "double": make_double_plugin,
+    "integer": make_integer_plugin,
+    "decimal": make_decimal_plugin,
+    "dateTime": make_datetime_plugin,
+    "date": make_date_plugin,
+    "time": make_time_plugin,
+    "boolean": make_boolean_plugin,
+    "duration": make_duration_plugin,
+    "gYear": make_gyear_plugin,
+    "gYearMonth": make_gyearmonth_plugin,
+    "gMonth": make_gmonth_plugin,
+    "gDay": make_gday_plugin,
+    "gMonthDay": make_gmonthday_plugin,
+}
+
+_CACHE: dict[str, TypePlugin] = {}
+
+
+def available_types() -> list[str]:
+    """Names of all registered XML types."""
+    return sorted(_FACTORIES)
+
+
+def register_type(name: str, factory: Callable[[], TypePlugin]) -> None:
+    """Register a custom type plugin factory (overrides any builtin)."""
+    _FACTORIES[name] = factory
+    _CACHE.pop(name, None)
+
+
+def get_plugin(name: str) -> TypePlugin:
+    """Return the (cached) plugin for ``name``.
+
+    Raises ``KeyError`` with the list of known types on a bad name.
+    """
+    plugin = _CACHE.get(name)
+    if plugin is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown XML type {name!r}; available: {available_types()}"
+            )
+        plugin = factory()
+        _CACHE[name] = plugin
+    return plugin

@@ -1,0 +1,97 @@
+"""Diagnostics for the hash function H (extends the paper's Section 6).
+
+The paper evaluates H empirically through its collision histogram
+(Figure 11) and explains the URL pathology.  This module adds the
+standard hash-quality diagnostics so the behaviour can be studied
+analytically on any corpus:
+
+* :func:`avalanche_matrix` — probability that output bit j flips when
+  input bit i flips.  H is a *linear* function over GF(2) (pure XOR of
+  shifted inputs), so each input bit deterministically flips a fixed
+  set of output bits: entries are exactly 0.0 or 1.0, far from the
+  0.5 ideal of cryptographic mixing — the structural reason the
+  27-periodicity cancellation exists.
+* :func:`bit_balance` — frequency of each output bit over a corpus.
+* :func:`collision_classes` — group a corpus by hash value.
+* :func:`periodicity_defect` — construct, for any string, a distinct
+  partner with the same hash (constructive proof of the paper's Wiki
+  observation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .hashing import C_ARRAY_BITS, hash_string
+
+__all__ = [
+    "avalanche_matrix",
+    "bit_balance",
+    "collision_classes",
+    "periodicity_defect",
+]
+
+
+def avalanche_matrix(length: int, base_char: str = "a") -> list[list[float]]:
+    """Flip-probability matrix for inputs of ``length`` bytes.
+
+    Returns ``matrix[input_bit][output_bit]`` over the 7 hashable bits
+    per character and the 32 output bits.  For a linear hash like H the
+    entries are all 0.0/1.0.
+    """
+    base = base_char * length
+    base_hash = hash_string(base)
+    matrix: list[list[float]] = []
+    for position in range(length):
+        for bit in range(7):
+            flipped = bytearray(base.encode("ascii"))
+            flipped[position] ^= 1 << bit
+            delta = base_hash ^ hash_string(bytes(flipped))
+            matrix.append([float((delta >> out) & 1) for out in range(32)])
+    return matrix
+
+
+def bit_balance(values: Iterable[str]) -> list[float]:
+    """Fraction of corpus strings setting each of the 32 output bits."""
+    counts = [0] * 32
+    total = 0
+    for value in values:
+        hval = hash_string(value)
+        total += 1
+        for bit in range(32):
+            counts[bit] += (hval >> bit) & 1
+    if total == 0:
+        return [0.0] * 32
+    return [count / total for count in counts]
+
+
+def collision_classes(values: Iterable[str]) -> dict[int, list[str]]:
+    """Group distinct strings by hash; only multi-member groups kept."""
+    groups: dict[int, list[str]] = defaultdict(list)
+    for value in set(values):
+        groups[hash_string(value)].append(value)
+    return {
+        hval: sorted(members)
+        for hval, members in groups.items()
+        if len(members) > 1
+    }
+
+
+def periodicity_defect(value: str) -> str | None:
+    """A distinct string with the same hash as ``value``, if one can be
+    constructed by the 27-period swap.
+
+    Characters at positions ``i`` and ``i + 27k`` XOR into the same
+    c-array offset, so swapping two *different* characters that far
+    apart preserves the hash.  Returns ``None`` when no such pair of
+    differing characters exists (e.g. short strings).
+    """
+    chars = list(value)
+    for i in range(len(chars)):
+        for j in range(i + C_ARRAY_BITS, len(chars), C_ARRAY_BITS):
+            if chars[i] != chars[j]:
+                swapped = chars[:]
+                swapped[i], swapped[j] = swapped[j], swapped[i]
+                return "".join(swapped)
+    return None

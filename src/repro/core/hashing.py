@@ -1,0 +1,244 @@
+"""The string-value hash function ``H`` and combination function ``C``.
+
+This module implements the heart of the paper's string equality index
+(Section 3): a 32-bit hash function over arbitrary-length XML string
+values, designed so that the hash of a concatenation can be derived from
+the hashes of the parts::
+
+    H(concat(a, b)) == C(H(a), H(b))
+
+The layout of a hash value follows the paper exactly.  After hashing, the
+32-bit value is ``C27..C1 | OFFC``:
+
+* bits 5..31 hold the 27-bit *c-array*, built by a circular XOR of the
+  7 low bits of every character, advancing the XOR offset by 5 positions
+  per character (mod 27);
+* bits 0..4 hold *offc*, the offset (an element of Z_27) at which the
+  next character would be XOR-ed — the state needed to continue hashing.
+
+Because 5 and 27 are coprime, the offset cycles through all 27 positions,
+spreading characters over the whole c-array.
+
+The functions emulate the paper's C implementation on ``unsigned int``:
+during the character loop, bits that overflow above c-array position 26
+accumulate in bit positions 27..31 and are discarded by the final
+``<<= 5`` (exactly as a 32-bit left shift does in C); the wrapped low
+bits are XOR-ed back at the start of the c-array explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "C_ARRAY_BITS",
+    "OFFC_BITS",
+    "EMPTY_HASH",
+    "hash_string",
+    "combine",
+    "combine_all",
+    "mask5",
+    "mask27",
+    "offset_of",
+    "c_array_of",
+    "HashAccumulator",
+]
+
+#: Number of bits in the c-array (character accumulator).
+C_ARRAY_BITS = 27
+#: Number of bits reserved for the stored offset (covers Z_27).
+OFFC_BITS = 5
+#: Offset advance per character.
+_STEP = 5
+
+_U32 = 0xFFFFFFFF
+_MASK5 = 0x1F  # low 5 bits: the offc field
+_MASK27 = _U32 & ~_MASK5  # bits 5..31: the stored c-array
+
+#: ``H("")`` — c-array 0, offset 0.  It is the identity of ``combine``.
+EMPTY_HASH = 0
+
+
+def mask5(hval: int) -> int:
+    """Return the *offc* field (low 5 bits) of a stored hash value."""
+    return hval & _MASK5
+
+
+def mask27(hval: int) -> int:
+    """Return the stored c-array (bits 5..31) of a hash value."""
+    return hval & _MASK27
+
+
+def offset_of(hval: int) -> int:
+    """Return the circular-XOR offset encoded in a hash value (0..26)."""
+    return hval & _MASK5
+
+
+def c_array_of(hval: int) -> int:
+    """Return the 27-bit c-array of ``hval`` as an integer in [0, 2**27)."""
+    return (hval >> OFFC_BITS) & ((1 << C_ARRAY_BITS) - 1)
+
+
+def hash_string(value: str | bytes) -> int:
+    """Hash an XML string value into a 32-bit integer (paper Figure 2).
+
+    ``value`` may be given as ``str`` (encoded to UTF-8, matching the
+    paper's "ASCII or UTF value depending the implementation" note) or as
+    raw ``bytes``.  Only the 7 low bits of each byte enter the hash.
+
+    Returns the stored form ``(c_array << 5) | offset``.
+    """
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+    else:
+        data = value
+    if len(data) >= _VECTOR_THRESHOLD:
+        return _hash_bytes_vectorized(data)
+    hval = 0
+    offset = 0
+    for byte in data:
+        c = byte & 127
+        hval ^= (c << offset) & _U32
+        if offset > 20:
+            # Wrap the bits that fell past c-array position 26 back to
+            # position 0.  (The copies left above position 26 are junk
+            # that the final << 5 discards, as in 32-bit C.)
+            hval ^= c >> (27 - offset)
+        offset += _STEP
+        if offset > 26:
+            offset -= 27
+    return ((hval << OFFC_BITS) & _U32) | offset
+
+
+#: Below this many bytes the scalar loop beats numpy's call overhead.
+_VECTOR_THRESHOLD = 48
+
+
+def _hash_bytes_vectorized(data: bytes) -> int:
+    """Vectorised ``H`` for long inputs.
+
+    XOR is commutative, so the circular XOR of all characters can be
+    evaluated as one reduction per lane: character ``i`` lands at offset
+    ``5*i mod 27``.  Bits that overflow c-array position 26 accumulate
+    above bit 26 and are discarded by the final shift-and-mask, exactly
+    like the 32-bit C original; the wrapped low bits are folded in
+    separately for the offsets past 20.
+    """
+    chars = (np.frombuffer(data, dtype=np.uint8) & 127).astype(np.uint64)
+    offsets = (5 * np.arange(len(chars), dtype=np.uint64)) % 27
+    hval = int(np.bitwise_xor.reduce(chars << offsets))
+    high = offsets > 20
+    if high.any():
+        hval ^= int(np.bitwise_xor.reduce(chars[high] >> (27 - offsets[high])))
+    return ((hval << OFFC_BITS) & _U32) | ((5 * len(chars)) % 27)
+
+
+def hash_strings(values: list) -> list[int]:
+    """Hash many string values at once (vectorised ``H``).
+
+    Equivalent to ``[hash_string(v) for v in values]`` but evaluates
+    the circular XOR for *all* strings in one pass: the inputs are
+    concatenated, per-character contributions computed lane-wise, and
+    ``np.bitwise_xor.reduceat`` folds each string's segment.  Used by
+    the index builder, where per-node Python-loop hashing would
+    otherwise dominate creation time.
+    """
+    if len(values) < 8:
+        return [hash_string(v) for v in values]
+    datas = [
+        value.encode("utf-8") if isinstance(value, str) else value
+        for value in values
+    ]
+    lens = np.fromiter((len(d) for d in datas), np.int64, len(datas))
+    total = int(lens.sum())
+    final_offsets = (5 * lens) % 27
+    if total == 0:
+        return [int(o) for o in final_offsets]
+    buf = (
+        np.frombuffer(b"".join(datas), dtype=np.uint8).astype(np.uint64) & 127
+    )
+    starts = np.zeros(len(datas), dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    local = np.arange(total, dtype=np.uint64) - np.repeat(
+        starts.astype(np.uint64), lens
+    )
+    offsets = (5 * local) % 27
+    terms = buf << offsets
+    high = offsets > 20
+    terms[high] ^= buf[high] >> (27 - offsets[high])
+    # reduceat returns the element itself for empty segments (equal
+    # consecutive indices), so fold only the non-empty ones.
+    nonempty = lens > 0
+    folded = np.bitwise_xor.reduceat(terms, starts[nonempty])
+    c_arrays = np.zeros(len(datas), dtype=np.uint64)
+    c_arrays[nonempty] = folded
+    hvals = ((c_arrays << OFFC_BITS) & _U32) | final_offsets.astype(np.uint64)
+    return [int(h) for h in hvals]
+
+
+def combine(hleft: int, hright: int) -> int:
+    """Combine two hash values (paper Figure 4).
+
+    Returns ``H(a + b)`` given ``hleft = H(a)`` and ``hright = H(b)``,
+    without access to either string.  The c-array of the right operand is
+    circularly shifted left by the left operand's offset (re-basing its
+    position 0 to where the left string's hashing stopped), XOR-ed into
+    the left c-array, and the offsets are added mod 27.
+
+    ``combine`` is associative and ``EMPTY_HASH`` is its identity, which
+    is what makes commit-time recombination commutative-friendly
+    (paper Section 5.1).
+    """
+    off_left = hleft & _MASK5
+    c_right = hright & _MASK27
+    hcomb = hleft & _MASK27
+    # Circular left shift of the 27-bit c-array within its stored frame
+    # (bits 5..31): bits shifted past bit 31 are the junk C discards; the
+    # true wrap-around is re-inserted by the masked right shift.
+    hcomb ^= ((c_right << off_left) & _U32) | ((c_right >> (27 - off_left)) & _MASK27)
+    hcomb |= ((hleft & _MASK5) + (hright & _MASK5)) % 27
+    return hcomb
+
+
+def combine_all(hashes: Iterable[int]) -> int:
+    """Fold :func:`combine` over ``hashes`` left to right.
+
+    Returns :data:`EMPTY_HASH` for an empty iterable — the hash of the
+    empty string, i.e. the string value of a node with no text content.
+    """
+    result = EMPTY_HASH
+    for hval in hashes:
+        result = combine(result, hval)
+    return result
+
+
+class HashAccumulator:
+    """Incremental construction of ``H`` over a stream of string chunks.
+
+    Feeding chunks ``a, b, c`` yields the same value as
+    ``hash_string(a + b + c)``, in O(1) memory.  Used by the shredder to
+    hash character data that the XML parser delivers in pieces.
+    """
+
+    __slots__ = ("_hval",)
+
+    def __init__(self) -> None:
+        self._hval = EMPTY_HASH
+
+    def update(self, chunk: str | bytes) -> None:
+        """Append ``chunk`` to the value being hashed."""
+        self._hval = combine(self._hval, hash_string(chunk))
+
+    def update_hash(self, hval: int) -> None:
+        """Append a pre-hashed chunk."""
+        self._hval = combine(self._hval, hval)
+
+    def digest(self) -> int:
+        """Return the hash of everything fed so far."""
+        return self._hval
+
+    def reset(self) -> None:
+        """Forget all fed chunks, returning to ``H("")``."""
+        self._hval = EMPTY_HASH

@@ -1,0 +1,367 @@
+"""The index manager: the library's main entry point.
+
+Owns a :class:`~repro.xmldb.store.Store` plus the generic value indices
+over it (one string equality index, any number of typed range indices),
+keeps them consistent across document loads and updates, and exposes
+the lookup API the query layer plans against.
+
+Self-tuning by construction (paper Section 1): no paths, no types to
+configure — every node of every document is covered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import re
+
+from ..errors import IndexError_
+from ..xmldb.document import ATTR, TEXT, Document
+from ..xmldb.store import Store, StructuralChange
+from .builder import ValueIndex, build_document
+from .string_index import StringIndex
+from .substring_index import SubstringIndex
+from .typed_index import TypedIndex
+from .updater import apply_structural_change, apply_text_updates
+
+__all__ = ["IndexManager"]
+
+
+class IndexManager:
+    """Generic XML value indices over a document store.
+
+    Args:
+        store: The document store to index (a fresh one by default).
+        string: Build the string equality index.
+        typed: XML type names to build range indices for.
+        order: B-tree order for all index trees.
+    """
+
+    def __init__(
+        self,
+        store: Store | None = None,
+        string: bool = True,
+        typed: Iterable[str] = ("double",),
+        substring: bool = False,
+        substring_q: int = 3,
+        order: int = 64,
+    ):
+        self.store = store if store is not None else Store()
+        self.string_index: StringIndex | None = (
+            StringIndex(order=order) if string else None
+        )
+        self.typed_indexes: dict[str, TypedIndex] = {
+            name: TypedIndex(name, order=order) for name in typed
+        }
+        self.substring_index: SubstringIndex | None = (
+            SubstringIndex(q=substring_q) if substring else None
+        )
+        self._order = order
+        self._statistics_cache: dict[str, object] = {}
+
+    @property
+    def indexes(self) -> list[ValueIndex]:
+        """All active indices, string first."""
+        result: list[ValueIndex] = []
+        if self.string_index is not None:
+            result.append(self.string_index)
+        result.extend(self.typed_indexes.values())
+        return result
+
+    def typed_index(self, type_name: str) -> TypedIndex:
+        index = self.typed_indexes.get(type_name)
+        if index is None:
+            raise IndexError_(
+                f"no typed index for {type_name!r}; "
+                f"available: {sorted(self.typed_indexes)}"
+            )
+        return index
+
+    def add_typed_index(self, type_name: str) -> TypedIndex:
+        """Create (and build) an additional typed index."""
+        if type_name in self.typed_indexes:
+            raise IndexError_(f"typed index {type_name!r} already exists")
+        index = TypedIndex(type_name, order=self._order)
+        self.typed_indexes[type_name] = index
+        for doc in self.store.documents.values():
+            build_document(doc, [index])
+        return index
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, xml: str) -> Document:
+        """Shred a document and index it (shred + Figure 7 pass)."""
+        doc = self.store.add_document(name, xml)
+        build_document(doc, self.indexes)
+        self._substring_add_range(doc, 0, len(doc) - 1)
+        return doc
+
+    def load_events(self, name: str, events) -> Document:
+        """Shred a pre-parsed event stream and index it."""
+        doc = self.store.add_document_events(name, events)
+        build_document(doc, self.indexes)
+        self._substring_add_range(doc, 0, len(doc) - 1)
+        return doc
+
+    def _substring_add_range(self, doc: Document, start: int, end: int) -> None:
+        if self.substring_index is None:
+            return
+        set_entry = self.substring_index.set_entry
+        for pre in range(start, end + 1):
+            if doc.kind[pre] in (TEXT, ATTR):
+                set_entry(doc.nid[pre], doc.text_of(pre))
+
+    def build_all(self) -> None:
+        """(Re)build all indices over all documents already in the store."""
+        for index in self.indexes:
+            index.begin_bulk()
+        from .builder import compute_fields
+
+        for doc in self.store.documents.values():
+            compute_fields(doc, 0, len(doc) - 1, self.indexes, bulk=True)
+            self._substring_add_range(doc, 0, len(doc) - 1)
+        for index in self.indexes:
+            index.finish_bulk()
+
+    def unload(self, name: str) -> None:
+        """Drop a document and all its index entries."""
+        doc = self.store.document(name)
+        for nid in doc.nid:
+            for index in self.indexes:
+                index.remove_entry(nid)
+            if self.substring_index is not None:
+                self.substring_index.remove_entry(nid)
+        self.store.remove_document(name)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update_text(self, nid: int, new_text: str) -> int:
+        """Update one text/attribute node's value and maintain indices."""
+        return self.update_texts([(nid, new_text)])
+
+    def update_texts(self, updates: Iterable[tuple[int, str]]) -> int:
+        """Batch text-value update (the paper's Figure 10 workload).
+
+        Applies all store writes first, then runs one maintenance pass
+        (Figure 8) over the distinct updated nodes, so shared ancestors
+        recompute once.  Returns the number of recomputed entries.
+        """
+        nids: list[int] = []
+        seen: set[int] = set()
+        for nid, new_text in updates:
+            self.store.update_text(nid, new_text)
+            if nid not in seen:
+                seen.add(nid)
+                nids.append(nid)
+        if self.substring_index is not None:
+            for nid in nids:
+                doc, pre = self.store.node(nid)
+                if doc.kind[pre] in (TEXT, ATTR):
+                    self.substring_index.set_entry(nid, doc.text_of(pre))
+        return apply_text_updates(self.store, nids, self.indexes)
+
+    def delete_subtree(self, nid: int) -> StructuralChange:
+        """Delete a subtree and maintain indices."""
+        change = self.store.delete_subtree(nid)
+        apply_structural_change(self.store, change, self.indexes)
+        self._substring_apply_change(change)
+        return change
+
+    def insert_xml(
+        self, parent_nid: int, fragment: str, before_nid: int | None = None
+    ) -> StructuralChange:
+        """Insert an XML fragment and maintain indices."""
+        change = self.store.insert_xml(parent_nid, fragment, before_nid)
+        apply_structural_change(self.store, change, self.indexes)
+        self._substring_apply_change(change)
+        return change
+
+    def insert_attribute(
+        self, owner_nid: int, name: str, value: str
+    ) -> StructuralChange:
+        """Add an attribute to an element and index its value."""
+        change = self.store.insert_attribute(owner_nid, name, value)
+        apply_structural_change(self.store, change, self.indexes)
+        self._substring_apply_change(change)
+        return change
+
+    def delete_attribute(self, attr_nid: int) -> StructuralChange:
+        """Remove an attribute node and drop its index entries."""
+        doc, pre = self.store.node(attr_nid)
+        if doc.kind[pre] != ATTR:
+            raise IndexError_(f"node {attr_nid} is not an attribute")
+        return self.delete_subtree(attr_nid)
+
+    def rename(self, nid: int, new_name: str) -> None:
+        """Rename an element/attribute/PI — no index maintenance needed
+        (the generic indices are name-agnostic by design)."""
+        self.store.rename(nid, new_name)
+
+    def _substring_apply_change(self, change: StructuralChange) -> None:
+        if self.substring_index is None:
+            return
+        for nid in change.removed_nids:
+            self.substring_index.remove_entry(nid)
+        doc = change.document
+        for nid in change.added_nids:
+            pre = doc.pre_of(nid)
+            if doc.kind[pre] in (TEXT, ATTR):
+                self.substring_index.set_entry(nid, doc.text_of(pre))
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def lookup_string(self, value: str, verify: bool = True) -> Iterator[int]:
+        """nids whose XDM string value equals ``value``.
+
+        With ``verify`` (default) candidates from the hash index are
+        checked against the document, eliminating hash collisions.
+        """
+        if self.string_index is None:
+            raise IndexError_("string index not enabled")
+        for nid in self.string_index.candidates(value):
+            if not verify:
+                yield nid
+                continue
+            doc, pre = self.store.node(nid)
+            if doc.string_value(pre) == value:
+                yield nid
+
+    def lookup_typed_equal(self, type_name: str, value: Any) -> Iterator[int]:
+        """nids whose typed value equals ``value`` (exact, no verify)."""
+        return self.typed_index(type_name).lookup_equal(value)
+
+    def lookup_typed_range(
+        self,
+        type_name: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, int]]:
+        """(value, nid) pairs in the given typed-value interval."""
+        return self.typed_index(type_name).lookup_range(
+            low, high, include_low=include_low, include_high=include_high
+        )
+
+    def lookup_typed_top(
+        self, type_name: str, k: int, largest: bool = True
+    ) -> list[tuple[Any, int]]:
+        """The k largest (or smallest) typed values with their nodes."""
+        return self.typed_index(type_name).top_values(k, largest=largest)
+
+    def _all_leaf_nids(self) -> Iterator[int]:
+        for doc in self.store.documents.values():
+            for pre in range(len(doc)):
+                if doc.kind[pre] in (TEXT, ATTR):
+                    yield doc.nid[pre]
+
+    def lookup_contains(self, needle: str) -> Iterator[int]:
+        """Value-leaf nids whose own text contains ``needle``.
+
+        Uses the q-gram substring index when available and the needle
+        is long enough; otherwise scans all leaves.  Results are always
+        verified (exact).
+        """
+        candidates: Iterable[int] | None = None
+        if self.substring_index is not None:
+            candidates = self.substring_index.candidates(needle)
+            if candidates is not None and len(needle) >= self.substring_index.q:
+                # Short leaves cannot contain a needle >= q anyway.
+                candidates = sorted(candidates)
+        if candidates is None:
+            candidates = self._all_leaf_nids()
+        for nid in candidates:
+            doc, pre = self.store.node(nid)
+            if needle in doc.text_of(pre):
+                yield nid
+
+    def lookup_regex(self, pattern: str) -> Iterator[int]:
+        """Value-leaf nids whose own text matches ``pattern`` (search
+        semantics).  Mandatory literal factors of the pattern prune
+        through the substring index when possible."""
+        compiled = re.compile(pattern)
+        candidates: Iterable[int] | None = None
+        if self.substring_index is not None:
+            pruned = self.substring_index.candidates_for_regex(pattern)
+            if pruned is not None:
+                candidates = sorted(pruned)
+        if candidates is None:
+            candidates = self._all_leaf_nids()
+        for nid in candidates:
+            doc, pre = self.store.node(nid)
+            if compiled.search(doc.text_of(pre)):
+                yield nid
+
+    # ------------------------------------------------------------------
+    # Planner statistics
+    # ------------------------------------------------------------------
+
+    def statistics(self, kind: str):
+        """Selectivity statistics for one index (cached snapshots).
+
+        ``kind`` is ``"string"`` or a typed-index name.  Snapshots are
+        recomputed once the index has drifted by more than 10% (or 100
+        entries) since they were taken.
+        """
+        from .statistics import StringIndexStatistics, TypedIndexStatistics
+
+        if kind == "string":
+            if self.string_index is None:
+                raise IndexError_("string index not enabled")
+            index = self.string_index
+        else:
+            index = self.typed_index(kind)
+        cached = self._statistics_cache.get(kind)
+        if cached is not None:
+            drift = index.mutations - cached.mutations
+            if drift <= max(100, len(index.tree) // 10):
+                return cached
+        if kind == "string":
+            snapshot = StringIndexStatistics.from_index(index)
+        else:
+            snapshot = TypedIndexStatistics.from_index(index)
+        self._statistics_cache[kind] = snapshot
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_sizes(self) -> dict[str, int]:
+        """Modelled byte size per index (Figure 9 bottom)."""
+        sizes: dict[str, int] = {}
+        if self.string_index is not None:
+            sizes["string"] = self.string_index.byte_size()
+        for name, index in self.typed_indexes.items():
+            sizes[name] = index.byte_size()
+        if self.substring_index is not None:
+            sizes["substring"] = self.substring_index.byte_size()
+        return sizes
+
+    def check_consistency(self) -> None:
+        """Verify all index fields against freshly computed ones.
+
+        Test support: rebuilds every index from scratch and compares
+        stored fields, value-tree contents and entry counts.
+        """
+        rebuilt = IndexManager(
+            store=self.store,
+            string=self.string_index is not None,
+            typed=tuple(self.typed_indexes),
+            order=self._order,
+        )
+        rebuilt.build_all()
+        if self.string_index is not None:
+            fresh = rebuilt.string_index
+            assert self.string_index.hash_of == fresh.hash_of
+            assert list(self.string_index.tree.keys()) == list(fresh.tree.keys())
+        for name, index in self.typed_indexes.items():
+            fresh_typed = rebuilt.typed_indexes[name]
+            assert index.fragment_of_node == fresh_typed.fragment_of_node, name
+            assert list(index.tree.keys()) == list(fresh_typed.tree.keys()), name

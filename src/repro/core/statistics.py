@@ -1,0 +1,155 @@
+"""Index statistics for cost-based query planning.
+
+The paper's indices always *can* answer a value predicate; whether they
+*should* is a selectivity question: an unselective range (``price > 0``
+matches everything) is cheaper to answer by scanning than by walking
+the index and verifying every candidate's structure.  This module
+provides the estimates the planner's ``auto`` mode uses:
+
+* an equi-depth histogram over a typed index's values (range and
+  equality selectivity);
+* hash-bucket statistics for the string index (equality selectivity);
+* leaf-count statistics for the substring index via gram posting lists.
+
+Statistics are snapshots: they record the index's mutation counter at
+build time and are recomputed by the manager once the index has drifted
+past a threshold.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "EquiDepthHistogram",
+    "TypedIndexStatistics",
+    "StringIndexStatistics",
+]
+
+
+class EquiDepthHistogram:
+    """Equi-depth histogram over an ordered multiset of values.
+
+    Bucket boundaries hold (approximately) equal numbers of entries, so
+    skewed distributions keep uniform per-bucket resolution.
+    """
+
+    def __init__(self, values: list[Any], buckets: int = 32):
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.total = len(values)
+        self._bounds: list[Any] = []
+        if not values:
+            return
+        ordered = sorted(values)
+        self.minimum = ordered[0]
+        self.maximum = ordered[-1]
+        step = max(1, self.total // buckets)
+        # bounds[i] = upper value of bucket i; depth per bucket = step.
+        self._bounds = [
+            ordered[min(i + step - 1, self.total - 1)]
+            for i in range(0, self.total, step)
+        ]
+        self._depth = step
+
+    def estimate_less_equal(self, value: Any) -> float:
+        """Estimated number of entries <= value."""
+        if not self._bounds:
+            return 0.0
+        if value < self.minimum:
+            return 0.0
+        if value >= self.maximum:
+            return float(self.total)
+        bucket = bisect.bisect_left(self._bounds, value)
+        # Everything in full buckets below, half of the hit bucket.
+        return min(float(self.total), bucket * self._depth + self._depth / 2)
+
+    def estimate_range(self, low: Any = None, high: Any = None) -> float:
+        """Estimated number of entries in [low, high]."""
+        if not self._bounds:
+            return 0.0
+        upper = (
+            float(self.total) if high is None else self.estimate_less_equal(high)
+        )
+        lower = 0.0
+        if low is not None:
+            lower = self.estimate_less_equal(low)
+            # Subtracting <=low removes low itself; give back one
+            # bucket-average worth of equals.
+            lower = max(0.0, lower - self.estimate_equal(low))
+        return max(0.0, upper - lower)
+
+    def estimate_equal(self, value: Any) -> float:
+        """Estimated number of entries equal to value."""
+        if not self._bounds:
+            return 0.0
+        if value < self.minimum or value > self.maximum:
+            return 0.0
+        # Uniformity within the bucket: depth / distinct-in-bucket is
+        # unknown, so assume each bucket holds `depth` entries spread
+        # over at least one distinct value.
+        span = bisect.bisect_right(self._bounds, value) - bisect.bisect_left(
+            self._bounds, value
+        )
+        return max(1.0, float(span * self._depth), self._depth / 8)
+
+
+@dataclass
+class TypedIndexStatistics:
+    """Snapshot statistics of one typed index."""
+
+    histogram: EquiDepthHistogram
+    mutations: int
+
+    @classmethod
+    def from_index(cls, index, buckets: int = 32) -> "TypedIndexStatistics":
+        values = [value for value, _nid in index.tree.keys()]
+        return cls(
+            histogram=EquiDepthHistogram(values, buckets),
+            mutations=index.mutations,
+        )
+
+    def estimate(self, op: str, literal: Any) -> float:
+        """Estimated candidates for ``value <op> literal``."""
+        histogram = self.histogram
+        if op == "=":
+            return histogram.estimate_equal(literal)
+        if op == "<=":
+            return histogram.estimate_less_equal(literal)
+        if op == "<":
+            return max(
+                0.0,
+                histogram.estimate_less_equal(literal)
+                - histogram.estimate_equal(literal),
+            )
+        if op == ">=":
+            return max(
+                0.0, histogram.total - self.estimate("<", literal)
+            )
+        if op == ">":
+            return max(0.0, histogram.total - self.estimate("<=", literal))
+        return float(histogram.total)
+
+
+@dataclass
+class StringIndexStatistics:
+    """Snapshot statistics of the string equality index."""
+
+    entries: int
+    distinct_hashes: int
+    mutations: int
+
+    @classmethod
+    def from_index(cls, index) -> "StringIndexStatistics":
+        distinct = len({field for field in index.hash_of.values()})
+        return cls(
+            entries=len(index),
+            distinct_hashes=max(1, distinct),
+            mutations=index.mutations,
+        )
+
+    def estimate_equal(self) -> float:
+        """Expected candidates per equality lookup (avg bucket size)."""
+        return self.entries / self.distinct_hashes

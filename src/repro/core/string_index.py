@@ -1,0 +1,142 @@
+"""The string equality index (paper Section 3).
+
+Covers *every* document, element, attribute and text node: each node
+stores the 32-bit hash of its XDM string value, and a B-tree over
+``(hash, nid)`` supports equality lookups.  A lookup returns candidate
+nodes for a hash; the caller verifies candidates against the actual
+string value to filter hash collisions (Section 6: "keeping the false
+positives — due to hash collisions — during query time to a minimum").
+
+Index maintenance never reads document text except for the updated
+text nodes themselves: ancestors recombine from their children's
+stored hashes with the associative ``C`` (see
+:mod:`repro.core.updater`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from ..btree import BPlusTree
+from .hashing import EMPTY_HASH, combine, hash_string, hash_strings
+
+__all__ = ["StringIndex"]
+
+_MAX_NID = 1 << 62
+
+
+class StringIndex:
+    """Equality index on string values via the hash function H."""
+
+    #: Builder protocol: field contributed by absent content.
+    identity = EMPTY_HASH
+
+    def __init__(self, order: int = 64):
+        # nid -> stored hash; the per-node "field" of paper Figure 7.
+        self.hash_of: dict[int, int] = {}
+        # B-tree on (hash, nid): equality lookup = one range scan.
+        self.tree = BPlusTree(order=order, key_bytes=8, value_bytes=0)
+        self._staged: list[tuple[int, int]] | None = None
+        #: Counts entry changes; used to invalidate planner statistics.
+        self.mutations = 0
+
+    # ------------------------------------------------------------------
+    # Builder protocol (used by repro.core.builder / updater)
+    # ------------------------------------------------------------------
+
+    def field_of_text(self, text: str) -> int:
+        """H(text) — the field of a text/attribute node."""
+        return hash_string(text)
+
+    def field_of_texts(self, texts: list[str]) -> list[int]:
+        """Vectorised batch form of :meth:`field_of_text`."""
+        return hash_strings(texts)
+
+    def combine(self, left: int, right: int) -> int:
+        """C(left, right) — fold a child's field into an accumulator."""
+        return combine(left, right)
+
+    def begin_bulk(self) -> None:
+        """Enter bulk-build mode: entries staged, tree built at the end."""
+        self._staged = []
+
+    def stage_entry(self, nid: int, field: int) -> None:
+        """Record a node's field during creation (bulk mode)."""
+        self.hash_of[nid] = field
+        self._staged.append((field, nid))
+
+    def finish_bulk(self) -> None:
+        """Sort staged entries and bulk-load the B-tree.
+
+        Entries already in the tree (earlier documents) are merged in,
+        so loading additional documents keeps prior coverage.
+        """
+        staged = self._staged
+        self._staged = None
+        staged.sort()
+        self.mutations += len(staged)
+        if len(self.tree):
+            existing = list(self.tree.keys())
+            entries = heapq.merge(existing, staged)
+        else:
+            entries = staged
+        self.tree.bulk_load((key, None) for key in entries)
+
+    def set_entry(self, nid: int, field: int) -> None:
+        """Insert or refresh one node's entry (update path)."""
+        old = self.hash_of.get(nid)
+        if old == field:
+            return
+        if old is not None:
+            self.tree.delete((old, nid))
+        self.hash_of[nid] = field
+        self.tree.insert((field, nid))
+        self.mutations += 1
+
+    def remove_entry(self, nid: int) -> None:
+        """Drop a node's entry (subtree deletion)."""
+        old = self.hash_of.pop(nid, None)
+        if old is not None:
+            self.tree.delete((old, nid))
+            self.mutations += 1
+
+    def field_of(self, nid: int):
+        """Stored field of a node; ``None`` if the node is not indexed."""
+        return self.hash_of.get(nid)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup_hash(self, hash_value: int) -> Iterator[int]:
+        """All nids whose string value hashes to ``hash_value``."""
+        for (_hash, nid), _none in self.tree.range(
+            (hash_value, -1), (hash_value, _MAX_NID)
+        ):
+            yield nid
+
+    def candidates(self, value: str) -> Iterator[int]:
+        """Candidate nids for an equality predicate on ``value``.
+
+        May contain false positives (hash collisions); callers verify
+        against the document.
+        """
+        return self.lookup_hash(hash_string(value))
+
+    # ------------------------------------------------------------------
+    # Statistics / storage model
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hash_of)
+
+    def byte_size(self) -> int:
+        """Modelled storage: a 4-byte hash per indexed node plus the
+        B-tree's inner-level overhead.
+
+        This matches the paper's accounting — XMark1's reported string
+        index (17.8 MB over 4.69 M nodes) is 4 bytes/node: the hash
+        column is the index; nids come from the clustered order.
+        """
+        return 4 * len(self.hash_of) + self.tree.inner_byte_size()

@@ -1,0 +1,228 @@
+"""The durable database facade: indices + persistence + WAL recovery.
+
+:class:`Database` is the "just adopt it" entry point: open a directory,
+load documents, query, update — every update is write-ahead logged, and
+opening after a crash replays the log over the last checkpoint through
+the ordinary index-maintenance path (which is deterministic, so
+replayed structural updates recreate identical node ids).
+
+Example::
+
+    with Database("./mydb", typed=("double",)) as db:
+        db.load("persons", xml)
+        db.update_text(nid, "Prefect")          # logged
+        hits = db.query('//person[.//age = 42]')
+    # power cut here? next open() replays the log.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Iterator
+
+from .core import IndexManager
+from .query import explain as _explain
+from .query import query as _query
+from .storage.persist import load_manager, save_manager
+from .storage.wal import (
+    DELETE_SUBTREE,
+    INSERT_ATTRIBUTE,
+    INSERT_XML,
+    RENAME,
+    TEXT_UPDATE,
+    WalRecord,
+    WriteAheadLog,
+    replay_records,
+)
+
+__all__ = ["Database"]
+
+_WAL_FILE = "wal.log"
+_MANIFEST = "MANIFEST.json"
+
+
+class Database:
+    """A persistent, WAL-protected XML database with generic indices.
+
+    Args:
+        path: Database directory (created when absent).
+        string/typed/substring: Index configuration for a *new*
+            database; an existing one keeps its stored configuration.
+        sync: WAL durability (``"none"``/``"flush"``/``"fsync"``).
+        checkpoint_every: Auto-checkpoint after this many logged
+            updates (0 disables; explicit :meth:`checkpoint` always
+            works).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        string: bool = True,
+        typed: Iterable[str] = ("double",),
+        substring: bool = False,
+        sync: str = "flush",
+        checkpoint_every: int = 10_000,
+    ):
+        self.path = path
+        self._checkpoint_every = checkpoint_every
+        self._pending = 0
+        wal_path = os.path.join(path, _WAL_FILE)
+        if os.path.exists(os.path.join(path, _MANIFEST)):
+            self.manager = load_manager(path)
+            replayed = 0
+            for record in replay_records(wal_path):
+                self._apply(record)
+                replayed += 1
+            self.recovered_records = replayed
+            if replayed:
+                # Fold the replayed tail into a fresh checkpoint.
+                save_manager(self.manager, path)
+        else:
+            os.makedirs(path, exist_ok=True)
+            self.manager = IndexManager(
+                string=string, typed=tuple(typed), substring=substring
+            )
+            save_manager(self.manager, path)
+            self.recovered_records = 0
+        self._wal = WriteAheadLog(wal_path, sync=sync)
+        if self.recovered_records:
+            self._wal.truncate()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _apply(self, record: WalRecord) -> None:
+        manager = self.manager
+        if record.kind == TEXT_UPDATE:
+            manager.update_text(record.nid, record.text)
+        elif record.kind == INSERT_XML:
+            before = record.extra - 1 if record.extra else None
+            manager.insert_xml(record.nid, record.text, before_nid=before)
+        elif record.kind == DELETE_SUBTREE:
+            manager.delete_subtree(record.nid)
+        elif record.kind == INSERT_ATTRIBUTE:
+            manager.insert_attribute(record.nid, record.name, record.text)
+        elif record.kind == RENAME:
+            manager.rename(record.nid, record.name)
+
+    def _log(self, record: WalRecord) -> None:
+        self._wal.append(record)
+        self._pending += 1
+        if self._checkpoint_every and self._pending >= self._checkpoint_every:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Document management
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, xml: str):
+        """Shred + index a document; forces a checkpoint (bulk loads
+        are snapshot-sized events, not log records)."""
+        doc = self.manager.load(name, xml)
+        self.checkpoint()
+        return doc
+
+    def unload(self, name: str) -> None:
+        self.manager.unload(name)
+        self.checkpoint()
+
+    @property
+    def store(self):
+        return self.manager.store
+
+    # ------------------------------------------------------------------
+    # Logged updates
+    # ------------------------------------------------------------------
+
+    def update_text(self, nid: int, new_text: str) -> int:
+        count = self.manager.update_text(nid, new_text)
+        self._log(WalRecord(TEXT_UPDATE, nid, text=new_text))
+        return count
+
+    def insert_xml(self, parent_nid: int, fragment: str,
+                   before_nid: int | None = None):
+        change = self.manager.insert_xml(parent_nid, fragment, before_nid)
+        self._log(
+            WalRecord(
+                INSERT_XML,
+                parent_nid,
+                text=fragment,
+                extra=0 if before_nid is None else before_nid + 1,
+            )
+        )
+        return change
+
+    def delete_subtree(self, nid: int):
+        change = self.manager.delete_subtree(nid)
+        self._log(WalRecord(DELETE_SUBTREE, nid))
+        return change
+
+    def insert_attribute(self, owner_nid: int, name: str, value: str):
+        change = self.manager.insert_attribute(owner_nid, name, value)
+        self._log(WalRecord(INSERT_ATTRIBUTE, owner_nid, text=value, name=name))
+        return change
+
+    def delete_attribute(self, attr_nid: int):
+        change = self.manager.delete_attribute(attr_nid)
+        self._log(WalRecord(DELETE_SUBTREE, attr_nid))
+        return change
+
+    def rename(self, nid: int, new_name: str) -> None:
+        self.manager.rename(nid, new_name)
+        self._log(WalRecord(RENAME, nid, name=new_name))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def query(self, text: str, document: str | None = None,
+              use_indexes: bool | str = True) -> list[int]:
+        return _query(self.manager, text, document, use_indexes)
+
+    def explain(self, text: str) -> str:
+        return _explain(self.manager, text)
+
+    def lookup_string(self, value: str) -> Iterator[int]:
+        return self.manager.lookup_string(value)
+
+    def lookup_typed_equal(self, type_name: str, value: Any) -> Iterator[int]:
+        return self.manager.lookup_typed_equal(type_name, value)
+
+    def lookup_typed_range(self, type_name: str, low=None, high=None,
+                           **kwargs) -> Iterator[tuple[Any, int]]:
+        return self.manager.lookup_typed_range(type_name, low, high, **kwargs)
+
+    def lookup_contains(self, needle: str) -> Iterator[int]:
+        return self.manager.lookup_contains(needle)
+
+    def lookup_regex(self, pattern: str) -> Iterator[int]:
+        return self.manager.lookup_regex(pattern)
+
+    def verify(self):
+        """First-principles integrity check (see repro.core.verify)."""
+        from .core.verify import verify_database
+
+        return verify_database(self.manager)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot everything and reset the log."""
+        save_manager(self.manager, self.path)
+        self._wal.truncate()
+        self._pending = 0
+
+    def close(self, checkpoint: bool = True) -> None:
+        if checkpoint:
+            self.checkpoint()
+        self._wal.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        # On an exception, keep the WAL so recovery replays it.
+        self.close(checkpoint=exc_type is None)

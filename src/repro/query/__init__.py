@@ -1,0 +1,16 @@
+"""XPath-subset query layer (naive baseline + index-accelerated plans)."""
+
+from .ast import Comparison, Path, Step
+from .evaluator import evaluate_naive
+from .parser import parse_query
+from .planner import explain, query
+
+__all__ = [
+    "Comparison",
+    "Path",
+    "Step",
+    "evaluate_naive",
+    "explain",
+    "parse_query",
+    "query",
+]

@@ -1,0 +1,147 @@
+"""AST for the XPath subset the query layer evaluates.
+
+The subset covers the paper's motivating queries:
+
+* ``doc("persons.xml")//person[.//age = 42]``
+* ``doc("person")//person[first/text()="Arthur"]``
+* ``doc("person")//*[fn:data(name)="ArthurDent"]``
+
+plus range predicates (``<``, ``<=``, ``>``, ``>=``) over typed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "AnyTest",
+    "AttributeTest",
+    "BooleanExpr",
+    "Comparison",
+    "FunctionPredicate",
+    "NameTest",
+    "Path",
+    "PositionPredicate",
+    "SelfTest",
+    "Step",
+    "TextTest",
+    "WildcardTest",
+]
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """Match element nodes named ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class WildcardTest:
+    """Match any element node (``*``)."""
+
+
+@dataclass(frozen=True)
+class TextTest:
+    """Match text nodes (``text()``)."""
+
+
+@dataclass(frozen=True)
+class AttributeTest:
+    """Match attribute nodes (``@name``; name ``*`` matches any)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SelfTest:
+    """Match the context node itself (``.``)."""
+
+
+@dataclass(frozen=True)
+class AnyTest:
+    """Match any node (``node()``; also the test behind ``..``)."""
+
+
+NodeTest = Union[
+    NameTest, WildcardTest, TextTest, AttributeTest, SelfTest, AnyTest
+]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step.
+
+    ``axis`` is ``"child"`` (``/``) or ``"descendant"`` (``//``,
+    meaning descendant-or-self::node()/child-ish as XPath abbreviates
+    it; for attribute tests the attributes of self and descendants).
+    """
+
+    axis: str
+    test: NodeTest
+    predicates: tuple["Comparison | FunctionPredicate | BooleanExpr | PositionPredicate", ...] = ()
+
+
+@dataclass(frozen=True)
+class Path:
+    """A location path.
+
+    ``absolute`` paths start at the document node (queries); relative
+    paths start at the context node (inside predicates).
+    """
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A predicate comparison ``path op literal``.
+
+    ``literal`` is a ``str`` (string comparison on XDM string values)
+    or a ``float`` (numeric general comparison: operand string values
+    are cast to double; non-castable operands never match).
+    """
+
+    operand: Path
+    op: str  # =, !=, <, <=, >, >=
+    literal: str | float
+
+
+@dataclass(frozen=True)
+class FunctionPredicate:
+    """A predicate of the form ``fn(path, "literal")``.
+
+    Supported functions: ``contains`` (substring on the XDM string
+    value) and ``matches`` (regular-expression search), both accelerated
+    by the q-gram substring index when it is enabled.
+    """
+
+    function: str  # "contains" | "matches"
+    operand: Path
+    literal: str
+
+
+@dataclass(frozen=True)
+class PositionPredicate:
+    """A positional filter: ``[N]`` (1-based) or ``[last()]``.
+
+    Applies per context node to the step's candidate list in document
+    order, after the predicates to its left (XPath semantics).
+    ``position`` is ``None`` for ``last()``.
+    """
+
+    position: int | None
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """``and``/``or`` combination of predicate expressions.
+
+    ``and`` binds tighter than ``or`` (XPath precedence); children are
+    comparisons, function predicates, or nested boolean expressions.
+    """
+
+    op: str  # "and" | "or"
+    children: tuple["Comparison | FunctionPredicate | BooleanExpr", ...]

@@ -1,0 +1,221 @@
+"""Naive (full-traversal) evaluation of the XPath subset.
+
+This is the baseline the value indices accelerate: every axis step is
+navigated over the pre/size/level columns and every comparison reads
+XDM string values from the document.  The index-accelerated path in
+:mod:`repro.query.planner` must return exactly the same node sets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..core.fsm import get_plugin
+from ..errors import QueryEvaluationError
+from ..xmldb.document import ATTR, ELEM, TEXT, Document
+from .ast import (
+    AnyTest,
+    AttributeTest,
+    BooleanExpr,
+    FunctionPredicate,
+    NameTest,
+    Path,
+    PositionPredicate,
+    SelfTest,
+    Step,
+    TextTest,
+    WildcardTest,
+)
+
+__all__ = ["evaluate_path", "test_matches", "compare_node"]
+
+
+def test_matches(doc: Document, pre: int, test) -> bool:
+    """Does the node at ``pre`` satisfy a node test?"""
+    kind = doc.kind[pre]
+    if isinstance(test, NameTest):
+        return kind == ELEM and doc.name_of(pre) == test.name
+    if isinstance(test, WildcardTest):
+        return kind == ELEM
+    if isinstance(test, TextTest):
+        return kind == TEXT
+    if isinstance(test, AttributeTest):
+        if kind != ATTR:
+            return False
+        return test.name == "*" or doc.name_of(pre) == test.name
+    if isinstance(test, (SelfTest, AnyTest)):
+        return True
+    raise QueryEvaluationError(f"unknown node test {test!r}")
+
+
+def _expand_step(doc: Document, pre: int, step: Step) -> Iterable[int]:
+    """Candidate nodes of one axis step from one context node."""
+    if isinstance(step.test, SelfTest) and step.axis == "self":
+        yield pre
+        return
+    if isinstance(step.test, AttributeTest):
+        if step.axis == "child":
+            owners: Iterable[int] = (pre,)
+        else:  # descendant(-or-self) attributes
+            owners = (p for p in doc.subtree(pre) if doc.kind[p] == ELEM)
+        for owner in owners:
+            yield from doc.attributes(owner)
+        # The document node has no attributes; elements handled above.
+        return
+    if step.axis == "child":
+        yield from doc.children(pre)
+    elif step.axis == "descendant":
+        for candidate in doc.descendants(pre):
+            if doc.kind[candidate] != ATTR:
+                yield candidate
+    elif step.axis == "parent":
+        parent = doc.parent(pre)
+        if parent is not None:
+            yield parent
+    elif step.axis == "ancestor":
+        yield from doc.ancestors(pre)
+    elif step.axis in ("following-sibling", "preceding-sibling"):
+        parent = doc.parent(pre)
+        if parent is None:
+            return
+        for sibling in doc.children(parent):
+            if step.axis == "following-sibling" and sibling > pre:
+                yield sibling
+            elif step.axis == "preceding-sibling" and sibling < pre:
+                yield sibling
+    elif step.axis == "following":
+        # Document order after the subtree, minus attributes.
+        for candidate in range(pre + doc.size[pre] + 1, len(doc)):
+            if doc.kind[candidate] != ATTR:
+                yield candidate
+    elif step.axis == "preceding":
+        # Before pre in document order, minus ancestors and attributes.
+        ancestors = set(doc.ancestors(pre))
+        for candidate in range(1, pre):
+            if doc.kind[candidate] != ATTR and candidate not in ancestors:
+                yield candidate
+    else:
+        raise QueryEvaluationError(f"unknown axis {step.axis!r}")
+
+
+_DOUBLE = None
+
+
+def _double_value(text: str):
+    """Cast a string value to xs:double the way general comparison does."""
+    global _DOUBLE
+    if _DOUBLE is None:
+        _DOUBLE = get_plugin("double")
+    return _DOUBLE.value_of_text(text)
+
+
+def _compare(left, op: str, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise QueryEvaluationError(f"unknown operator {op!r}")
+
+
+def compare_node(doc: Document, pre: int, predicate) -> bool:
+    """Check one operand node against a predicate's literal.
+
+    Handles both general comparisons (XQuery semantics: numeric
+    literals compare the double cast of the string value) and the
+    ``contains``/``matches`` function predicates.
+    """
+    value = doc.string_value(pre)
+    if isinstance(predicate, FunctionPredicate):
+        if predicate.function == "contains":
+            return predicate.literal in value
+        if predicate.function == "matches":
+            return re.search(predicate.literal, value) is not None
+        raise QueryEvaluationError(
+            f"unknown predicate function {predicate.function!r}"
+        )
+    if isinstance(predicate.literal, str):
+        if predicate.op not in ("=", "!="):
+            raise QueryEvaluationError(
+                "order comparisons against string literals are not supported"
+            )
+        return _compare(value, predicate.op, predicate.literal)
+    cast = _double_value(value)
+    if cast is None:
+        return False
+    return _compare(cast, predicate.op, predicate.literal)
+
+
+def _predicate_holds(doc: Document, pre: int, predicate) -> bool:
+    """Existential semantics: true iff *some* node selected by the
+    operand path satisfies the predicate; ``and``/``or`` expressions
+    recurse per child (each child has its own operand path)."""
+    if isinstance(predicate, BooleanExpr):
+        if predicate.op == "and":
+            return all(
+                _predicate_holds(doc, pre, child)
+                for child in predicate.children
+            )
+        return any(
+            _predicate_holds(doc, pre, child) for child in predicate.children
+        )
+    for operand in evaluate_path(doc, [pre], predicate.operand.steps):
+        if compare_node(doc, operand, predicate):
+            return True
+    return False
+
+
+def evaluate_path(
+    doc: Document, context: Iterable[int], steps: tuple[Step, ...]
+) -> list[int]:
+    """Evaluate location steps over ``context`` pres; document order,
+    duplicates removed (XPath node-set semantics).
+
+    Predicates apply left to right; positional predicates filter the
+    candidate list *per context node* with positions taken after the
+    predicates to their left (XPath 1.0 semantics).
+    """
+    current = list(context)
+    for step in steps:
+        result: set[int] = set()
+        for pre in current:
+            candidates = [
+                candidate
+                for candidate in _expand_step(doc, pre, step)
+                if test_matches(doc, candidate, step.test)
+            ]
+            for predicate in step.predicates:
+                if isinstance(predicate, PositionPredicate):
+                    index = (
+                        len(candidates) - 1
+                        if predicate.position is None
+                        else predicate.position - 1
+                    )
+                    if 0 <= index < len(candidates):
+                        candidates = [candidates[index]]
+                    else:
+                        candidates = []
+                else:
+                    candidates = [
+                        candidate
+                        for candidate in candidates
+                        if _predicate_holds(doc, candidate, predicate)
+                    ]
+            result.update(candidates)
+        current = sorted(result)
+    return current
+
+
+def evaluate_naive(doc: Document, path: Path) -> list[int]:
+    """Evaluate an absolute path over a document, no index use."""
+    if not path.absolute:
+        raise QueryEvaluationError("top-level paths must be absolute")
+    return evaluate_path(doc, [0], path.steps)

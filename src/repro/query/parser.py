@@ -1,0 +1,282 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (whitespace insignificant outside literals)::
+
+    query     := ('doc(' STRING ')')? path
+    path      := ('/' | '//')? step (('/' | '//') step)*
+    step      := nodetest predicate*
+    nodetest  := NAME | '*' | 'text()' | '@' (NAME | '*') | '.'
+    predicate := '[' operand cmp literal ']'
+    operand   := relpath | 'fn:data(' relpath ')' | '.'
+    relpath   := ('.//' | './')? step (('/' | '//') step)*
+    cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal   := '"' chars '"' | "'" chars "'" | NUMBER
+"""
+
+from __future__ import annotations
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    AnyTest,
+    AttributeTest,
+    BooleanExpr,
+    Comparison,
+    FunctionPredicate,
+    NameTest,
+    Path,
+    PositionPredicate,
+    SelfTest,
+    Step,
+    TextTest,
+    WildcardTest,
+)
+
+__all__ = ["parse_query", "ParsedQuery"]
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:"
+)
+
+
+class ParsedQuery:
+    """A parsed query: optional document name plus the location path."""
+
+    def __init__(self, document: str | None, path: Path):
+        self.document = document
+        self.path = path
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(f"{message} at position {self.pos}: {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\n\r":
+            self.pos += 1
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise self.error(f"expected {token!r}")
+
+    def take_word(self, word: str) -> bool:
+        """Take a keyword, requiring a non-name character after it."""
+        self.skip_ws()
+        end = self.pos + len(word)
+        if not self.text.startswith(word, self.pos):
+            return False
+        if end < len(self.text) and self.text[end] in _NAME_CHARS:
+            return False
+        self.pos = end
+        return True
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def string_literal(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            raise self.error("expected a string literal")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end == -1:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+    def number_literal(self) -> float:
+        self.skip_ws()
+        start = self.pos
+        allowed = set("0123456789.eE+-")
+        while self.pos < len(self.text) and self.text[self.pos] in allowed:
+            self.pos += 1
+        token = self.text[start : self.pos]
+        try:
+            return float(token)
+        except ValueError:
+            raise self.error(f"bad number literal {token!r}")
+
+
+def _parse_node_test(scanner: _Scanner):
+    if scanner.take("text()"):
+        return TextTest()
+    if scanner.take("node()"):
+        return AnyTest()
+    if scanner.take("@"):
+        if scanner.take("*"):
+            return AttributeTest("*")
+        return AttributeTest(scanner.name())
+    if scanner.take("*"):
+        return WildcardTest()
+    name = scanner.name()
+    return NameTest(name)
+
+
+#: Named axes accepted with the ``axis::test`` syntax.
+_NAMED_AXES = (
+    "following-sibling",
+    "preceding-sibling",
+    "following",
+    "preceding",
+    "ancestor",
+    "descendant",
+    "parent",
+    "child",
+)
+
+
+def _parse_steps(scanner: _Scanner, first_axis: str) -> list[Step]:
+    steps = []
+    axis = first_axis
+    while True:
+        if scanner.take(".."):
+            test = AnyTest()
+            axis = "parent"
+        else:
+            for named in _NAMED_AXES:
+                if scanner.take(f"{named}::"):
+                    axis = named
+                    break
+            test = _parse_node_test(scanner)
+        predicates = []
+        while scanner.peek("["):
+            predicates.append(_parse_predicate(scanner))
+        steps.append(Step(axis, test, tuple(predicates)))
+        if scanner.take("//"):
+            axis = "descendant"
+        elif scanner.take("/"):
+            axis = "child"
+        else:
+            return steps
+
+
+def _parse_relative_path(scanner: _Scanner) -> Path:
+    if scanner.take(".//"):
+        return Path(tuple(_parse_steps(scanner, "descendant")), absolute=False)
+    if scanner.take("./"):
+        return Path(tuple(_parse_steps(scanner, "child")), absolute=False)
+    if scanner.peek(".") and not scanner.peek(".."):
+        # A bare "." — the context node itself.
+        scanner.expect(".")
+        return Path((Step("self", SelfTest()),), absolute=False)
+    return Path(tuple(_parse_steps(scanner, "child")), absolute=False)
+
+
+def _parse_atom(scanner: _Scanner):
+    """One comparison or function call inside a predicate."""
+    for fn in ("contains", "matches"):
+        for prefix in (f"fn:{fn}(", f"{fn}("):
+            if scanner.take(prefix):
+                operand = _parse_relative_path(scanner)
+                scanner.expect(",")
+                literal = scanner.string_literal()
+                scanner.expect(")")
+                return FunctionPredicate(fn, operand, literal)
+    if scanner.take("("):
+        inner = _parse_or_expr(scanner)
+        scanner.expect(")")
+        return inner
+    if scanner.take("fn:data(") or scanner.take("data("):
+        operand = _parse_relative_path(scanner)
+        scanner.expect(")")
+    else:
+        operand = _parse_relative_path(scanner)
+    for op in ("!=", "<=", ">=", "=", "<", ">"):
+        if scanner.take(op):
+            break
+    else:
+        raise scanner.error("expected a comparison operator")
+    scanner.skip_ws()
+    if scanner.pos < len(scanner.text) and scanner.text[scanner.pos] in "\"'":
+        literal: str | float = scanner.string_literal()
+    else:
+        literal = scanner.number_literal()
+    return Comparison(operand, op, literal)
+
+
+def _parse_and_expr(scanner: _Scanner):
+    children = [_parse_atom(scanner)]
+    while scanner.take_word("and"):
+        children.append(_parse_atom(scanner))
+    if len(children) == 1:
+        return children[0]
+    return BooleanExpr("and", tuple(children))
+
+
+def _parse_or_expr(scanner: _Scanner):
+    children = [_parse_and_expr(scanner)]
+    while scanner.take_word("or"):
+        children.append(_parse_and_expr(scanner))
+    if len(children) == 1:
+        return children[0]
+    return BooleanExpr("or", tuple(children))
+
+
+def _parse_predicate(scanner: _Scanner):
+    scanner.expect("[")
+    scanner.skip_ws()
+    if scanner.take("last()"):
+        scanner.expect("]")
+        return PositionPredicate(None)
+    if scanner.pos < len(scanner.text) and scanner.text[scanner.pos].isdigit():
+        # A bare number is a positional predicate (paths never start
+        # with a digit in this grammar).
+        start = scanner.pos
+        while (
+            scanner.pos < len(scanner.text)
+            and scanner.text[scanner.pos].isdigit()
+        ):
+            scanner.pos += 1
+        position = int(scanner.text[start : scanner.pos])
+        if position < 1:
+            raise scanner.error("positions are 1-based")
+        scanner.expect("]")
+        return PositionPredicate(position)
+    expression = _parse_or_expr(scanner)
+    scanner.expect("]")
+    return expression
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string; raises ``QuerySyntaxError`` on bad input."""
+    scanner = _Scanner(text)
+    document = None
+    if scanner.take("doc(") or scanner.take("fn:doc("):
+        document = scanner.string_literal()
+        scanner.expect(")")
+    if scanner.take("//"):
+        first_axis = "descendant"
+    elif scanner.take("/"):
+        first_axis = "child"
+    elif document is not None:
+        raise scanner.error("expected '/' or '//' after doc(...)")
+    else:
+        first_axis = "descendant"
+    steps = _parse_steps(scanner, first_axis)
+    if not scanner.at_end():
+        raise scanner.error("trailing input")
+    return ParsedQuery(document, Path(tuple(steps), absolute=True))

@@ -1,0 +1,409 @@
+"""Index-accelerated query evaluation.
+
+The planner recognises the shape the paper's indices target — a path
+whose final step carries a value predicate::
+
+    //person[.//age = 42]          (typed index, equality)
+    //person[first/text() = "A"]   (string index)
+    //item[@price < 10]            (typed index, range)
+
+and evaluates it *backwards*: the value index supplies the nodes whose
+value matches, the predicate's operand path is walked in reverse
+(ancestor-wards) to find candidate context nodes, and the outer path is
+verified structurally.  Anything the planner does not recognise falls
+back to the naive evaluator, so results always equal
+:func:`repro.query.evaluator.evaluate_naive`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.manager import IndexManager
+from ..core.substring_index import literal_factors
+from ..xmldb.document import Document
+from .ast import (
+    AttributeTest,
+    BooleanExpr,
+    Comparison,
+    FunctionPredicate,
+    Path,
+    PositionPredicate,
+    Step,
+    TextTest,
+)
+from .evaluator import (
+    _predicate_holds,
+    evaluate_naive,
+    test_matches,
+)
+from .parser import parse_query
+
+__all__ = ["query", "explain"]
+
+
+def _index_hits(
+    manager: IndexManager, doc: Document, comparison
+) -> Iterator[int] | None:
+    """Pres of value-matching nodes from an index, or None if no index
+    applies to this comparison."""
+    if isinstance(comparison, FunctionPredicate):
+        return _substring_hits(manager, doc, comparison)
+    literal = comparison.literal
+    op = comparison.op
+    if isinstance(literal, str):
+        if op != "=" or manager.string_index is None:
+            return None
+        nids = manager.lookup_string(literal)
+    else:
+        if "double" not in manager.typed_indexes:
+            return None
+        if op == "=":
+            nids = manager.lookup_typed_equal("double", literal)
+        elif op == "<":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range(
+                    "double", high=literal, include_high=False
+                )
+            )
+        elif op == "<=":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range("double", high=literal)
+            )
+        elif op == ">":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range(
+                    "double", low=literal, include_low=False
+                )
+            )
+        elif op == ">=":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range("double", low=literal)
+            )
+        else:  # != has no useful index form
+            return None
+
+    def pres() -> Iterator[int]:
+        for nid in nids:
+            owner = manager.store._doc_of_nid.get(nid)
+            if owner is doc:
+                yield doc.pre_of(nid)
+
+    return pres()
+
+
+def _substring_hits(
+    manager: IndexManager, doc: Document, predicate: FunctionPredicate
+) -> Iterator[int] | None:
+    """Pres of leaves satisfying a contains/matches predicate via the
+    q-gram index.
+
+    Only applies when the operand path targets leaves directly (a
+    ``text()`` or attribute step): the q-gram index is leaf-accurate,
+    and a match spanning element boundaries is only found by the scan
+    fallback.
+    """
+    if manager.substring_index is None:
+        return None
+    last_test = predicate.operand.steps[-1].test
+    if not isinstance(last_test, (TextTest, AttributeTest)):
+        return None
+    if predicate.function == "contains":
+        if not manager.substring_index.supports(predicate.literal):
+            return None
+        nids = manager.lookup_contains(predicate.literal)
+    else:
+        pruned = manager.substring_index.candidates_for_regex(
+            predicate.literal
+        )
+        if pruned is None:
+            return None
+        nids = manager.lookup_regex(predicate.literal)
+
+    def pres() -> Iterator[int]:
+        for nid in nids:
+            owner = manager.store._doc_of_nid.get(nid)
+            if owner is doc:
+                yield doc.pre_of(nid)
+
+    return pres()
+
+
+def _context_starts(
+    doc: Document, pre: int, steps: tuple[Step, ...], idx: int
+) -> set[int]:
+    """Context nodes from which ``steps[:idx+1]`` can select ``pre``."""
+    step = steps[idx]
+    if not test_matches(doc, pre, step.test):
+        return set()
+    if any(not _predicate_holds(doc, pre, p) for p in step.predicates):
+        return set()
+    if idx == 0:
+        if step.axis == "child":
+            parent = doc.parent(pre)
+            return set() if parent is None else {parent}
+        if step.axis == "descendant":
+            return set(doc.ancestors(pre))
+        return {pre}  # self
+    if step.axis == "child":
+        predecessors: Iterable[int] = (
+            () if doc.parent(pre) is None else (doc.parent(pre),)
+        )
+    elif step.axis == "descendant":
+        predecessors = doc.ancestors(pre)
+    else:  # self
+        predecessors = (pre,)
+    starts: set[int] = set()
+    for predecessor in predecessors:
+        starts |= _context_starts(doc, predecessor, steps, idx - 1)
+    return starts
+
+
+def _matches_absolute(
+    doc: Document,
+    pre: int,
+    steps: tuple[Step, ...],
+    idx: int,
+    skip_predicate: Comparison | None,
+    memo: dict[tuple[int, int], bool],
+) -> bool:
+    """Could ``pre`` be selected by ``steps[:idx+1]`` from the document
+    node?  ``skip_predicate`` is the comparison the index already
+    answered (not re-verified here; the caller re-checks it)."""
+    key = (pre, idx)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    step = steps[idx]
+    result = test_matches(doc, pre, step.test)
+    if result:
+        for predicate in step.predicates:
+            if predicate is skip_predicate:
+                continue
+            if not _predicate_holds(doc, pre, predicate):
+                result = False
+                break
+    if result:
+        if idx == 0:
+            if step.axis == "child":
+                result = doc.parent(pre) == 0
+            else:
+                result = pre != 0
+        elif step.axis == "child":
+            parent = doc.parent(pre)
+            result = parent is not None and _matches_absolute(
+                doc, parent, steps, idx - 1, skip_predicate, memo
+            )
+        else:
+            result = any(
+                _matches_absolute(doc, anc, steps, idx - 1, skip_predicate, memo)
+                for anc in doc.ancestors(pre)
+            )
+    memo[key] = result
+    return result
+
+
+def _plan_drivers(manager: IndexManager, predicate) -> list | None:
+    """The atomic predicates whose index hits jointly *cover* all
+    context nodes satisfying ``predicate``.
+
+    * an indexable atom covers itself;
+    * ``and``: any one indexable conjunct covers (the rest is verified);
+    * ``or``: every disjunct must be covered (hits are unioned).
+
+    Returns ``None`` when no covering driver set exists.
+    """
+    if isinstance(predicate, (Comparison, FunctionPredicate)):
+        if _driver_kind(manager, predicate) is None:
+            return None
+        return [predicate]
+    if isinstance(predicate, BooleanExpr):
+        if predicate.op == "and":
+            for child in predicate.children:
+                drivers = _plan_drivers(manager, child)
+                if drivers is not None:
+                    return drivers
+            return None
+        drivers: list = []
+        for child in predicate.children:
+            child_drivers = _plan_drivers(manager, child)
+            if child_drivers is None:
+                return None
+            drivers.extend(child_drivers)
+        return drivers
+    return None
+
+
+#: ``auto`` mode scans when the index is expected to return more than
+#: this fraction of the document as candidates.
+SCAN_THRESHOLD = 0.25
+
+
+def _estimate_driver(manager: IndexManager, driver) -> float:
+    """Expected number of index candidates for one atomic predicate."""
+    if isinstance(driver, FunctionPredicate):
+        if driver.function == "contains":
+            estimate = manager.substring_index.estimate_candidates(
+                driver.literal
+            )
+        else:
+            factors = [
+                factor
+                for factor in literal_factors(driver.literal)
+                if len(factor) >= manager.substring_index.q
+            ]
+            estimate = (
+                manager.substring_index.estimate_candidates(
+                    max(factors, key=len)
+                )
+                if factors
+                else None
+            )
+        return float("inf") if estimate is None else float(estimate)
+    if isinstance(driver.literal, str):
+        return manager.statistics("string").estimate_equal()
+    return manager.statistics("double").estimate(driver.op, driver.literal)
+
+
+def _evaluate_with_index(
+    manager: IndexManager, doc: Document, path: Path, cost_based: bool = False
+) -> list[int] | None:
+    """Index-accelerated evaluation; None if the plan does not apply."""
+    if any(
+        isinstance(predicate, PositionPredicate)
+        for step in path.steps
+        for predicate in step.predicates
+    ):
+        return None  # positional filters need full per-context lists
+    if not all(
+        step.axis in ("child", "descendant", "self") for step in path.steps
+    ):
+        return None  # reverse/sibling axes are scan-only
+    final = path.steps[-1]
+    predicate = next(iter(final.predicates), None)
+    if predicate is None:
+        return None
+    drivers = _plan_drivers(manager, predicate)
+    if drivers is None:
+        return None
+    if cost_based:
+        expected = sum(_estimate_driver(manager, d) for d in drivers)
+        if expected > SCAN_THRESHOLD * len(doc):
+            return None
+    memo: dict[tuple[int, int], bool] = {}
+    results: set[int] = set()
+    rejected: set[int] = set()
+    for driver in drivers:
+        if not all(
+            step.axis in ("child", "descendant", "self")
+            for step in driver.operand.steps
+        ):
+            return None  # reverse/sibling operand axes are scan-only
+        hits = _index_hits(manager, doc, driver)
+        if hits is None:
+            return None
+        operand_steps = driver.operand.steps
+        for value_pre in hits:
+            for context in _context_starts(
+                doc, value_pre, operand_steps, len(operand_steps) - 1
+            ):
+                if context in results or context in rejected:
+                    continue
+                if not _matches_absolute(
+                    doc, context, path.steps, len(path.steps) - 1,
+                    predicate, memo,
+                ):
+                    rejected.add(context)
+                    continue
+                # Structural match established; re-verify the full
+                # predicate properly (guards general-comparison corners
+                # such as !=, and the non-driver conjuncts).
+                if _predicate_holds(doc, context, predicate):
+                    results.add(context)
+                else:
+                    rejected.add(context)
+    return sorted(results)
+
+
+def query(
+    manager: IndexManager,
+    text: str,
+    document: str | None = None,
+    use_indexes: bool | str = True,
+) -> list[int]:
+    """Evaluate a query; returns matching node ids in document order.
+
+    ``document`` restricts evaluation to one document (a ``doc("...")``
+    prefix in the query does the same).  ``use_indexes``:
+
+    * ``True`` — always use an index plan when one applies;
+    * ``False`` — always scan (the baseline for speedup benchmarks);
+    * ``"auto"`` — cost-based: use the index only when its statistics
+      predict fewer candidates than :data:`SCAN_THRESHOLD` of the
+      document (an unselective range is cheaper to scan).
+    """
+    if use_indexes not in (True, False, "auto"):
+        raise ValueError("use_indexes must be True, False or 'auto'")
+    parsed = parse_query(text)
+    doc_name = parsed.document or document
+    if doc_name is not None:
+        docs = [manager.store.document(doc_name)]
+    else:
+        docs = list(manager.store.documents.values())
+    results: list[int] = []
+    for doc in docs:
+        pres: list[int] | None = None
+        if use_indexes:
+            pres = _evaluate_with_index(
+                manager, doc, parsed.path, cost_based=use_indexes == "auto"
+            )
+        if pres is None:
+            pres = evaluate_naive(doc, parsed.path)
+        results.extend(doc.nid[pre] for pre in pres)
+    return results
+
+
+def _driver_kind(manager: IndexManager, driver) -> str | None:
+    """Which index would serve this atomic predicate, or ``None``."""
+    if isinstance(driver, FunctionPredicate):
+        index = manager.substring_index
+        if index is None:
+            return None
+        last_test = driver.operand.steps[-1].test
+        if not isinstance(last_test, (TextTest, AttributeTest)):
+            return None
+        if driver.function == "contains":
+            usable = index.supports(driver.literal)
+        else:
+            usable = index.candidates_for_regex(driver.literal) is not None
+        return "substring" if usable else None
+    if isinstance(driver.literal, str):
+        if driver.op == "=" and manager.string_index is not None:
+            return "string"
+        return None
+    if driver.op != "!=" and "double" in manager.typed_indexes:
+        return "double"
+    return None
+
+
+def explain(manager: IndexManager, text: str) -> str:
+    """Report which plan the query would use (``"index(...)"``/``"scan"``)."""
+    parsed = parse_query(text)
+    final = parsed.path.steps[-1]
+    predicate = next(iter(final.predicates), None)
+    if predicate is None:
+        return "scan"
+    drivers = _plan_drivers(manager, predicate)
+    if drivers is None:
+        return "scan"
+    kinds = []
+    for driver in drivers:
+        kind = _driver_kind(manager, driver)
+        if kind is None:
+            return "scan"
+        kinds.append(kind)
+    return "index(" + "+".join(sorted(set(kinds))) + ")"

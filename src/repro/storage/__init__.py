@@ -1,0 +1,12 @@
+"""On-disk persistence for stores and index managers."""
+
+from .format import FormatError
+from .persist import load_manager, load_store, save_manager, save_store
+
+__all__ = [
+    "FormatError",
+    "load_manager",
+    "load_store",
+    "save_manager",
+    "save_store",
+]

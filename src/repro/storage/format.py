@@ -1,0 +1,124 @@
+"""Low-level binary file format helpers.
+
+The on-disk format is deliberately simple and self-describing:
+
+* every file starts with the magic ``RXDB`` and a format version;
+* the body is a sequence of *sections*: a 4-byte ASCII tag, a little-
+  endian ``u64`` payload length, and the payload bytes;
+* integer columns are stored as little-endian numpy arrays; variable
+  payloads use LEB128 varints.
+
+No pickle anywhere: the files contain only data, never code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "FormatError",
+    "MAGIC",
+    "VERSION",
+    "write_header",
+    "read_header",
+    "write_section",
+    "read_sections",
+    "pack_array",
+    "unpack_array",
+    "encode_varint",
+    "decode_varint",
+]
+
+MAGIC = b"RXDB"
+VERSION = 1
+
+
+class FormatError(ReproError):
+    """Raised on malformed or incompatible files."""
+
+
+def write_header(fh: BinaryIO) -> None:
+    fh.write(MAGIC)
+    fh.write(struct.pack("<I", VERSION))
+
+
+def read_header(fh: BinaryIO) -> int:
+    magic = fh.read(4)
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}; not a repro database file")
+    (version,) = struct.unpack("<I", fh.read(4))
+    if version != VERSION:
+        raise FormatError(f"unsupported format version {version}")
+    return version
+
+
+def write_section(fh: BinaryIO, tag: str, payload: bytes) -> None:
+    encoded = tag.encode("ascii")
+    if len(encoded) != 4:
+        raise ValueError(f"section tag must be 4 ASCII bytes, got {tag!r}")
+    fh.write(encoded)
+    fh.write(struct.pack("<Q", len(payload)))
+    fh.write(payload)
+
+
+def read_sections(fh: BinaryIO) -> Iterator[tuple[str, bytes]]:
+    """Yield (tag, payload) until end of file."""
+    while True:
+        tag = fh.read(4)
+        if not tag:
+            return
+        if len(tag) != 4:
+            raise FormatError("truncated section tag")
+        raw_len = fh.read(8)
+        if len(raw_len) != 8:
+            raise FormatError("truncated section length")
+        (length,) = struct.unpack("<Q", raw_len)
+        payload = fh.read(length)
+        if len(payload) != length:
+            raise FormatError(f"truncated section {tag!r}")
+        yield tag.decode("ascii"), payload
+
+
+def pack_array(values, dtype: str) -> bytes:
+    """Pack a Python sequence as a little-endian numpy array."""
+    return np.asarray(values, dtype=np.dtype(dtype).newbyteorder("<")).tobytes()
+
+
+def unpack_array(payload: bytes, dtype: str) -> list:
+    """Inverse of :func:`pack_array` (returns a Python list)."""
+    return np.frombuffer(payload, dtype=np.dtype(dtype).newbyteorder("<")).tolist()
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer of any size."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(payload: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(payload):
+            raise FormatError("truncated varint")
+        byte = payload[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7

@@ -1,0 +1,329 @@
+"""Persistence: save/load stores and index managers to disk.
+
+Layout of a database directory::
+
+    MANIFEST.json        store metadata: documents, nid counter, index config
+    <doc>.doc            one file per document (columns + heaps)
+    <doc>.sidx           string-index hash column for the document
+    <doc>.<type>.tidx    typed-index fragments for the document
+
+The string and typed indices persist their per-node fields (the
+expensive part: hashing/FSM over all text); their B-trees are
+rebuilt by bulk load at open, and the optional substring index is
+re-derived from the leaves.  Documents round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+from ..core.fsm.fragment import Fragment
+from ..core.manager import IndexManager
+from ..core.string_index import StringIndex
+from ..core.typed_index import TypedIndex
+from ..errors import ReproError
+from ..xmldb.document import Document
+from ..xmldb.store import Store
+from .format import (
+    FormatError,
+    encode_varint,
+    decode_varint,
+    pack_array,
+    read_header,
+    read_sections,
+    unpack_array,
+    write_header,
+    write_section,
+)
+
+__all__ = ["save_store", "load_store", "save_manager", "load_manager"]
+
+_MANIFEST = "MANIFEST.json"
+
+
+def _doc_filename(name: str) -> str:
+    """A filesystem-safe file stem for a document name."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+# ---------------------------------------------------------------------------
+# Documents
+# ---------------------------------------------------------------------------
+
+
+def _write_document(doc: Document, path: str) -> None:
+    with open(path, "wb") as fh:
+        write_header(fh)
+        write_section(fh, "KIND", pack_array(doc.kind, "u1"))
+        write_section(fh, "SIZE", pack_array(doc.size, "<u4"))
+        write_section(fh, "LEVL", pack_array(doc.level, "<u2"))
+        write_section(fh, "NAME", pack_array(doc.name_id, "<i4"))
+        write_section(fh, "TEXT", pack_array(doc.text_id, "<i4"))
+        write_section(fh, "NIDS", pack_array(doc.nid, "<u8"))
+        write_section(fh, "PRNT", pack_array(doc.parent_nid, "<i8"))
+        heap = io.BytesIO()
+        offsets = []
+        for text in doc.texts:
+            offsets.append(heap.tell())
+            heap.write(text.encode("utf-8"))
+        offsets.append(heap.tell())
+        write_section(fh, "HEAP", heap.getvalue())
+        write_section(fh, "HOFF", pack_array(offsets, "<u8"))
+        names = [doc.vocabulary.name_of(i) for i in range(len(doc.vocabulary))]
+        vocab_blob = io.BytesIO()
+        vocab_offsets = []
+        for name in names:
+            vocab_offsets.append(vocab_blob.tell())
+            vocab_blob.write(name.encode("utf-8"))
+        vocab_offsets.append(vocab_blob.tell())
+        write_section(fh, "VOCB", vocab_blob.getvalue())
+        write_section(fh, "VOFF", pack_array(vocab_offsets, "<u8"))
+        write_section(fh, "SRCB", pack_array([doc.source_bytes], "<u8"))
+
+
+def _read_document(name: str, path: str) -> Document:
+    doc = Document(name)
+    sections: dict[str, bytes] = {}
+    with open(path, "rb") as fh:
+        read_header(fh)
+        for tag, payload in read_sections(fh):
+            sections[tag] = payload
+    required = {"KIND", "SIZE", "LEVL", "NAME", "TEXT", "NIDS", "PRNT",
+                "HEAP", "HOFF", "VOCB", "VOFF"}
+    missing = required - set(sections)
+    if missing:
+        raise FormatError(f"document file {path!r} missing {sorted(missing)}")
+    doc.kind = unpack_array(sections["KIND"], "u1")
+    doc.size = unpack_array(sections["SIZE"], "<u4")
+    doc.level = unpack_array(sections["LEVL"], "<u2")
+    doc.name_id = unpack_array(sections["NAME"], "<i4")
+    doc.text_id = unpack_array(sections["TEXT"], "<i4")
+    doc.nid = unpack_array(sections["NIDS"], "<u8")
+    doc.parent_nid = unpack_array(sections["PRNT"], "<i8")
+    heap = sections["HEAP"]
+    offsets = unpack_array(sections["HOFF"], "<u8")
+    doc.texts = [
+        heap[offsets[i] : offsets[i + 1]].decode("utf-8")
+        for i in range(len(offsets) - 1)
+    ]
+    vocab_blob = sections["VOCB"]
+    vocab_offsets = unpack_array(sections["VOFF"], "<u8")
+    for i in range(len(vocab_offsets) - 1):
+        doc.vocabulary.intern(
+            vocab_blob[vocab_offsets[i] : vocab_offsets[i + 1]].decode("utf-8")
+        )
+    if "SRCB" in sections:
+        doc.source_bytes = unpack_array(sections["SRCB"], "<u8")[0]
+    doc.rebuild_nid_map()
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def save_store(store: Store, path: str) -> None:
+    """Write all documents plus the manifest to directory ``path``."""
+    os.makedirs(path, exist_ok=True)
+    documents = {}
+    for name, doc in store.documents.items():
+        stem = _doc_filename(name)
+        _write_document(doc, os.path.join(path, f"{stem}.doc"))
+        documents[name] = stem
+    manifest = {
+        "format": "repro-xmldb",
+        "documents": documents,
+        "next_nid": store._next_nid,
+    }
+    with open(os.path.join(path, _MANIFEST), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def _read_manifest(path: str) -> dict:
+    manifest_path = os.path.join(path, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise ReproError(f"no {_MANIFEST} in {path!r}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != "repro-xmldb":
+        raise FormatError(f"{manifest_path!r} is not a repro database")
+    return manifest
+
+
+def load_store(path: str) -> Store:
+    """Open a directory written by :func:`save_store`."""
+    manifest = _read_manifest(path)
+    store = Store()
+    for name, stem in manifest["documents"].items():
+        doc = _read_document(name, os.path.join(path, f"{stem}.doc"))
+        store._register(doc)
+    store._next_nid = manifest["next_nid"]
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Indices
+# ---------------------------------------------------------------------------
+
+
+def _write_string_index(index: StringIndex, doc: Document, path: str) -> None:
+    nids = []
+    hashes = []
+    for nid in doc.nid:
+        field = index.hash_of.get(nid)
+        if field is not None:
+            nids.append(nid)
+            hashes.append(field)
+    with open(path, "wb") as fh:
+        write_header(fh)
+        write_section(fh, "NIDS", pack_array(nids, "<u8"))
+        write_section(fh, "HASH", pack_array(hashes, "<u4"))
+
+
+def _read_string_index_into(index: StringIndex, path: str) -> None:
+    with open(path, "rb") as fh:
+        read_header(fh)
+        sections = dict(read_sections(fh))
+    nids = unpack_array(sections["NIDS"], "<u8")
+    hashes = unpack_array(sections["HASH"], "<u4")
+    for nid, field in zip(nids, hashes):
+        index.hash_of[nid] = field
+
+
+def _pack_fragment(index: TypedIndex, fragment: Fragment) -> bytes:
+    out = bytearray(encode_varint(fragment.state))
+    out += encode_varint(len(fragment.tokens))
+    for cid, payload, length in fragment.tokens:
+        out.append(cid)
+        if cid in index.plugin.run_class_ids:
+            out += encode_varint(payload)
+            out += encode_varint(length)
+        elif cid in index.plugin.char_class_ids:
+            out += payload.encode("utf-8")
+    return bytes(out)
+
+
+def _unpack_fragment(index: TypedIndex, payload: bytes, offset: int) -> tuple[Fragment, int]:
+    state, offset = decode_varint(payload, offset)
+    count, offset = decode_varint(payload, offset)
+    tokens = []
+    for _ in range(count):
+        cid = payload[offset]
+        offset += 1
+        if cid in index.plugin.run_class_ids:
+            value, offset = decode_varint(payload, offset)
+            length, offset = decode_varint(payload, offset)
+            tokens.append((cid, value, length))
+        elif cid in index.plugin.char_class_ids:
+            tokens.append((cid, chr(payload[offset]), 1))
+            offset += 1
+        else:
+            tokens.append((cid, None, 1))
+    return Fragment(state, tuple(tokens)), offset
+
+
+def _write_typed_index(index: TypedIndex, doc: Document, path: str) -> None:
+    nids = []
+    blob = bytearray()
+    for nid in doc.nid:
+        fragment = index.fragment_of_node.get(nid)
+        if fragment is not None:
+            nids.append(nid)
+            blob += _pack_fragment(index, fragment)
+    with open(path, "wb") as fh:
+        write_header(fh)
+        write_section(fh, "NIDS", pack_array(nids, "<u8"))
+        write_section(fh, "FRAG", bytes(blob))
+
+
+def _read_typed_index_into(index: TypedIndex, path: str) -> None:
+    with open(path, "rb") as fh:
+        read_header(fh)
+        sections = dict(read_sections(fh))
+    nids = unpack_array(sections["NIDS"], "<u8")
+    blob = sections["FRAG"]
+    offset = 0
+    for nid in nids:
+        fragment, offset = _unpack_fragment(index, blob, offset)
+        index.fragment_of_node[nid] = fragment
+        value = index.plugin.cast(fragment)
+        if value is not None:
+            index._value_of[nid] = value
+
+
+# ---------------------------------------------------------------------------
+# Manager
+# ---------------------------------------------------------------------------
+
+
+def save_manager(manager: IndexManager, path: str) -> None:
+    """Persist the store and all index fields to directory ``path``."""
+    save_store(manager.store, path)
+    manifest = _read_manifest(path)
+    manifest["indexes"] = {
+        "string": manager.string_index is not None,
+        "typed": sorted(manager.typed_indexes),
+        "substring": (
+            manager.substring_index.q
+            if manager.substring_index is not None
+            else None
+        ),
+    }
+    for name, doc in manager.store.documents.items():
+        stem = manifest["documents"][name]
+        if manager.string_index is not None:
+            _write_string_index(
+                manager.string_index, doc, os.path.join(path, f"{stem}.sidx")
+            )
+        for type_name, index in manager.typed_indexes.items():
+            _write_typed_index(
+                index, doc, os.path.join(path, f"{stem}.{type_name}.tidx")
+            )
+    with open(os.path.join(path, _MANIFEST), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def load_manager(path: str) -> IndexManager:
+    """Open a directory written by :func:`save_manager`.
+
+    Per-node fields are read back from the index files (no re-hashing,
+    no FSM runs); the B-trees are rebuilt by sorted bulk load, and the
+    substring index (if configured) is re-derived from the leaves.
+    """
+    manifest = _read_manifest(path)
+    config = manifest.get("indexes")
+    if config is None:
+        raise ReproError(
+            f"{path!r} was saved with save_store; use load_store instead"
+        )
+    store = load_store(path)
+    manager = IndexManager(
+        store=store,
+        string=config["string"],
+        typed=tuple(config["typed"]),
+        substring=config["substring"] is not None,
+        substring_q=config["substring"] or 3,
+    )
+    for name, doc in store.documents.items():
+        stem = manifest["documents"][name]
+        if manager.string_index is not None:
+            _read_string_index_into(
+                manager.string_index, os.path.join(path, f"{stem}.sidx")
+            )
+        for type_name, index in manager.typed_indexes.items():
+            _read_typed_index_into(
+                index, os.path.join(path, f"{stem}.{type_name}.tidx")
+            )
+        manager._substring_add_range(doc, 0, len(doc) - 1)
+    # Rebuild the B-trees from the recovered fields.
+    if manager.string_index is not None:
+        index = manager.string_index
+        entries = sorted((field, nid) for nid, field in index.hash_of.items())
+        index.tree.bulk_load((key, None) for key in entries)
+    for index in manager.typed_indexes.values():
+        entries = sorted((value, nid) for nid, value in index._value_of.items())
+        index.tree.bulk_load((key, None) for key in entries)
+    return manager

@@ -1,0 +1,158 @@
+"""Write-ahead log for the persistent database facade.
+
+Checkpoints (full :func:`~repro.storage.persist.save_manager` snapshots)
+are expensive; the WAL makes individual updates durable between them.
+Each record describes one logical update; recovery replays the log over
+the last snapshot through the ordinary maintenance path, which is
+deterministic (node-id allocation is a plain counter restored by the
+snapshot, so replayed structural updates re-create identical nids).
+
+Record wire format: ``u8`` record type, then type-specific fields —
+varint integers and varint-length-prefixed UTF-8 strings.  The file
+carries the standard ``RXDB`` header.  A torn final record (crash mid
+write) is detected and ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from .format import (
+    FormatError,
+    decode_varint,
+    encode_varint,
+    read_header,
+    write_header,
+)
+
+__all__ = [
+    "WalRecord",
+    "TEXT_UPDATE",
+    "INSERT_XML",
+    "DELETE_SUBTREE",
+    "INSERT_ATTRIBUTE",
+    "RENAME",
+    "WriteAheadLog",
+    "replay_records",
+]
+
+TEXT_UPDATE = 1
+INSERT_XML = 2
+DELETE_SUBTREE = 3
+INSERT_ATTRIBUTE = 4
+RENAME = 5
+
+_KNOWN_TYPES = {TEXT_UPDATE, INSERT_XML, DELETE_SUBTREE, INSERT_ATTRIBUTE, RENAME}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged update.  Field use varies by ``kind``:
+
+    * TEXT_UPDATE:      nid, text
+    * INSERT_XML:       nid (parent), text (fragment), extra (before_nid + 1, 0 = none)
+    * DELETE_SUBTREE:   nid
+    * INSERT_ATTRIBUTE: nid (owner), name, text (value)
+    * RENAME:           nid, name
+    """
+
+    kind: int
+    nid: int
+    text: str = ""
+    name: str = ""
+    extra: int = 0
+
+
+def _encode_string(value: str) -> bytes:
+    data = value.encode("utf-8")
+    return encode_varint(len(data)) + data
+
+
+def _decode_string(payload: bytes, offset: int) -> tuple[str, int]:
+    length, offset = decode_varint(payload, offset)
+    end = offset + length
+    if end > len(payload):
+        raise FormatError("truncated string")
+    return payload[offset:end].decode("utf-8"), end
+
+
+def encode_record(record: WalRecord) -> bytes:
+    out = bytearray([record.kind])
+    out += encode_varint(record.nid)
+    out += _encode_string(record.text)
+    out += _encode_string(record.name)
+    out += encode_varint(record.extra)
+    return bytes(out)
+
+
+def decode_record(payload: bytes, offset: int) -> tuple[WalRecord, int]:
+    kind = payload[offset]
+    if kind not in _KNOWN_TYPES:
+        raise FormatError(f"unknown WAL record type {kind}")
+    offset += 1
+    nid, offset = decode_varint(payload, offset)
+    text, offset = _decode_string(payload, offset)
+    name, offset = _decode_string(payload, offset)
+    extra, offset = decode_varint(payload, offset)
+    return WalRecord(kind, nid, text, name, extra), offset
+
+
+class WriteAheadLog:
+    """Append-only log file.
+
+    Args:
+        path: Log file path (created with a header when absent).
+        sync: ``"none"`` (buffered), ``"flush"`` (flush per append) or
+            ``"fsync"`` (flush + fsync per append).
+    """
+
+    def __init__(self, path: str, sync: str = "flush"):
+        if sync not in ("none", "flush", "fsync"):
+            raise ValueError("sync must be 'none', 'flush' or 'fsync'")
+        self.path = path
+        self._sync = sync
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._fh: BinaryIO = open(path, "ab")
+        if fresh:
+            write_header(self._fh)
+            self._fh.flush()
+
+    def append(self, record: WalRecord) -> None:
+        self._fh.write(encode_record(record))
+        if self._sync != "none":
+            self._fh.flush()
+            if self._sync == "fsync":
+                os.fsync(self._fh.fileno())
+
+    def truncate(self) -> None:
+        """Reset the log after a checkpoint."""
+        self._fh.close()
+        self._fh = open(self.path, "wb")
+        write_header(self._fh)
+        self._fh.flush()
+        self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        self._fh.flush()
+        self._fh.close()
+
+
+def replay_records(path: str) -> Iterator[WalRecord]:
+    """Read back all complete records; a torn tail is ignored."""
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as fh:
+        try:
+            read_header(fh)
+        except FormatError:
+            return  # empty/garbage log: nothing to replay
+        payload = fh.read()
+    offset = 0
+    while offset < len(payload):
+        try:
+            record, offset = decode_record(payload, offset)
+        except (FormatError, IndexError):
+            return  # torn final record from a crash mid-append
+        yield record

@@ -1,0 +1,206 @@
+"""Optimistic transactions over the value indices (paper Section 5.1).
+
+The paper's observation: every text update changes the hash of *all*
+its ancestors, so naive locking would serialise every transaction on
+the root.  But because the combination function ``C`` is associative
+and ancestor recomputation folds over the *current* children values,
+ancestor maintenance commutes across transactions that touch different
+text nodes — so no ancestor locks are needed at all.  "A committing
+transaction should re-read the latest value of all ancestor nodes of an
+update (and their direct children, per the update algorithm) to
+recompute their new hash values."
+
+This module implements exactly that discipline:
+
+* transactions buffer text writes locally (no store mutation, no locks);
+* commit validates only the *written text nodes themselves* against
+  versions committed after the transaction began (first-committer-wins
+  on true write-write conflicts);
+* the winning writes are applied and ancestors recomputed from live
+  index state — re-reading "the latest value ... of their direct
+  children" — under a short structural mutex that stands in for the
+  engine's latch (Python-level concurrency).
+
+The result is serialisable for disjoint write sets, which the tests
+check by comparing interleaved commits against a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterator
+
+from ..core.manager import IndexManager
+from ..errors import TransactionConflict, TransactionStateError
+
+__all__ = ["TransactionManager", "Transaction"]
+
+
+class TransactionManager:
+    """Hands out transactions over one :class:`IndexManager`."""
+
+    def __init__(self, index_manager: IndexManager):
+        self.index_manager = index_manager
+        self._commit_counter = itertools.count(1)
+        self._clock = 0
+        # nid -> commit timestamp of the last committed write.
+        self._versions: dict[int, int] = {}
+        # nid -> [(commit_ts, value *before* that commit)], ascending —
+        # the undo chain that gives active transactions snapshot reads.
+        self._history: dict[int, list[tuple[int, str]]] = {}
+        # start_ts of active transactions (multiset), for GC of history.
+        self._active: dict[int, int] = {}
+        self._mutex = threading.Lock()
+
+    def begin(self) -> "Transaction":
+        """Start a transaction snapshotted at the current commit clock."""
+        with self._mutex:
+            txn = Transaction(self, self._clock)
+            self._active[txn.start_ts] = self._active.get(txn.start_ts, 0) + 1
+            return txn
+
+    def _finished(self, txn: "Transaction") -> None:
+        with self._mutex:
+            remaining = self._active.get(txn.start_ts, 0) - 1
+            if remaining > 0:
+                self._active[txn.start_ts] = remaining
+            else:
+                self._active.pop(txn.start_ts, None)
+            self._prune_history()
+
+    def _prune_history(self) -> None:
+        """Drop undo versions no active transaction can still need.
+
+        A version ``(ts, before)`` serves transactions with
+        ``start_ts < ts``; once the oldest active snapshot is >= ts it
+        is garbage.  Caller holds the mutex.
+        """
+        oldest = min(self._active, default=self._clock)
+        for nid in list(self._history):
+            chain = [
+                entry for entry in self._history[nid] if entry[0] > oldest
+            ]
+            if chain:
+                self._history[nid] = chain
+            else:
+                del self._history[nid]
+
+    def _read_snapshot(self, nid: int, start_ts: int) -> str:
+        """Value of ``nid`` as of snapshot ``start_ts``."""
+        store = self.index_manager.store
+        with self._mutex:
+            chain = self._history.get(nid)
+            if chain:
+                # The value before the earliest commit after start_ts.
+                for commit_ts, before in chain:
+                    if commit_ts > start_ts:
+                        return before
+            doc, pre = store.node(nid)
+            return doc.text_of(pre)
+
+    def _commit(self, txn: "Transaction") -> int:
+        with self._mutex:
+            # First-committer-wins validation: only the updated text
+            # nodes themselves are checked — never their ancestors.
+            for nid in txn._writes:
+                if self._versions.get(nid, 0) > txn.start_ts:
+                    raise TransactionConflict(
+                        f"node {nid} was modified by a concurrent transaction"
+                    )
+            ts = next(self._commit_counter)
+            self._clock = ts
+            store = self.index_manager.store
+            for nid in txn._writes:
+                self._versions[nid] = ts
+                doc, pre = store.node(nid)
+                self._history.setdefault(nid, []).append(
+                    (ts, doc.text_of(pre))
+                )
+            # Apply writes and recompute ancestors from the *live*
+            # children values (the Section 5.1 commit-time re-read).
+            self.index_manager.update_texts(list(txn._writes.items()))
+            return ts
+
+
+class Transaction:
+    """A buffered optimistic transaction.  Not thread-shared."""
+
+    def __init__(self, manager: TransactionManager, start_ts: int):
+        self._manager = manager
+        self.start_ts = start_ts
+        self._writes: dict[int, str] = {}
+        self.status = "active"
+        self.commit_ts: int | None = None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.status != "active":
+            raise TransactionStateError(f"transaction is {self.status}")
+
+    def update_text(self, nid: int, new_text: str) -> None:
+        """Buffer a text-value write (visible to this txn only)."""
+        self._require_active()
+        # Validate the target eagerly so errors surface at write time.
+        doc, pre = self._manager.index_manager.store.node(nid)
+        if doc.text_id[pre] < 0:
+            raise TransactionStateError(f"node {nid} has no text value")
+        self._writes[nid] = new_text
+
+    def read_text(self, nid: int) -> str:
+        """Snapshot read: own writes first, else the value as of this
+        transaction's begin timestamp (repeatable reads — concurrent
+        commits do not bleed into an open transaction)."""
+        self._require_active()
+        buffered = self._writes.get(nid)
+        if buffered is not None:
+            return buffered
+        return self._manager._read_snapshot(nid, self.start_ts)
+
+    def writes(self) -> Iterator[tuple[int, str]]:
+        return iter(self._writes.items())
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+
+    def commit(self) -> int:
+        """Validate and apply; returns the commit timestamp.
+
+        Raises :class:`~repro.errors.TransactionConflict` if another
+        transaction committed a write to one of this transaction's
+        nodes after this transaction began (the buffer is discarded).
+        """
+        self._require_active()
+        try:
+            ts = self._manager._commit(self)
+        except TransactionConflict:
+            self.status = "aborted"
+            self._manager._finished(self)
+            raise
+        self.status = "committed"
+        self.commit_ts = ts
+        self._manager._finished(self)
+        return ts
+
+    def abort(self) -> None:
+        """Discard all buffered writes."""
+        self._require_active()
+        self._writes.clear()
+        self.status = "aborted"
+        self._manager._finished(self)
+
+    # Context-manager sugar: commit on clean exit, abort on exception.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self.status != "active":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()

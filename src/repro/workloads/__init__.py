@@ -1,0 +1,30 @@
+"""Synthetic workloads: the paper's eight datasets and update mixes."""
+
+from .catalog import DATASETS, Dataset, bench_scale, dataset
+from .dblp import generate_dblp
+from .epageo import generate_epageo
+from .psd import generate_psd
+from .queries import QUERY_SETS, queries_for
+from .stats import DatasetStats, collect_stats
+from .updates import random_text_updates, text_nids
+from .wiki import collision_family, generate_wiki
+from .xmark import generate_xmark
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetStats",
+    "bench_scale",
+    "collect_stats",
+    "collision_family",
+    "dataset",
+    "generate_dblp",
+    "generate_epageo",
+    "generate_psd",
+    "generate_wiki",
+    "generate_xmark",
+    "QUERY_SETS",
+    "queries_for",
+    "random_text_updates",
+    "text_nids",
+]

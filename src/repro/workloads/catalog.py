@@ -1,0 +1,82 @@
+"""The eight-dataset catalog of the paper's evaluation (Table 1).
+
+Each entry pairs a generator with the paper's reported statistics so
+every benchmark can print *paper vs. measured* side by side.  Scales
+are relative: ``scale=1.0`` produces roughly 1/500 of the paper's node
+counts (the paper's corpora are 4.7–95 M nodes; pure Python asks for a
+smaller default).  All fractions — which the experiments' shapes
+depend on — are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from .dblp import generate_dblp
+from .epageo import generate_epageo
+from .psd import generate_psd
+from .wiki import generate_wiki
+from .xmark import generate_xmark
+
+__all__ = ["Dataset", "DATASETS", "dataset", "bench_scale"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One evaluation dataset and its paper-reported Table 1 row."""
+
+    name: str
+    generate: Callable[[float], str]
+    paper_size_mb: int
+    paper_total_nodes: int
+    paper_text_pct: int
+    paper_double_pct: float
+    paper_non_leaf: int
+
+    def build(self, scale: float = 1.0) -> str:
+        """Generate the serialized document at the given scale."""
+        return self.generate(scale)
+
+
+DATASETS: dict[str, Dataset] = {
+    d.name: d
+    for d in (
+        Dataset("XMark1", lambda s: generate_xmark(s * 1, seed=11),
+                112, 4_690_640, 64, 8.0, 0),
+        Dataset("XMark2", lambda s: generate_xmark(s * 2, seed=12),
+                224, 9_394_467, 64, 8.0, 0),
+        Dataset("XMark4", lambda s: generate_xmark(s * 4, seed=14),
+                448, 18_827_157, 64, 8.0, 0),
+        Dataset("XMark8", lambda s: generate_xmark(s * 8, seed=18),
+                896, 37_642_301, 64, 8.0, 0),
+        Dataset("EPAGeo", lambda s: generate_epageo(s, seed=21),
+                170, 6_558_707, 66, 7.0, 0),
+        Dataset("DBLP", lambda s: generate_dblp(s, seed=31),
+                474, 34_799_707, 66, 10.0, 21),
+        Dataset("PSD", lambda s: generate_psd(s, seed=41),
+                685, 58_445_809, 63, 4.0, 902),
+        Dataset("Wiki", lambda s: generate_wiki(s, seed=51),
+                2024, 94_672_619, 56, 0.1, 0),
+    )
+}
+
+
+def dataset(name: str) -> Dataset:
+    """Look up a dataset by its Table 1 name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+def bench_scale(default: float = 0.12) -> float:
+    """The benchmark scale knob (env ``REPRO_BENCH_SCALE``).
+
+    At the default 0.12 the eight datasets total ~65k nodes — a
+    laptop-friendly pure-Python budget; raise it to stress the curves.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))

@@ -1,0 +1,85 @@
+"""DBLP-like bibliography generator.
+
+The paper's DBLP snapshot (474 MB) has ~66% value leaves, ~10%
+potential-double values (years, volumes, numbers all lex like
+integers) and — uniquely among the corpora — a small absolute number
+of *non-leaf* potential doubles (21): titles like
+``<title>2<sup>10</sup>24</title>`` whose concatenated string value is
+numeric.  The analogue reproduces all three properties; the non-leaf
+count is injected explicitly (``math_titles``) since it is an absolute
+rarity, not a proportion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .words import proper_name, sentence
+
+__all__ = ["generate_dblp", "NODES_PER_SCALE"]
+
+#: Approximate generated nodes at ``scale=1.0``.
+NODES_PER_SCALE = 69600
+
+_VENUES = ("VLDB", "SIGMOD", "EDBT", "ICDE", "TODS", "VLDBJ", "CIDR")
+
+
+def _publication(
+    rng: random.Random, out: list[str], number: int, math_title: bool
+) -> None:
+    kind = rng.choice(("article", "inproceedings"))
+    out.append(
+        f'<{kind} key="conf/x/{number}" mdate="{rng.randrange(2002, 2009)}-'
+        f'{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}" '
+        f'publtype="{rng.choice(("informal", "survey", "regular"))}" '
+        f'rating="{rng.choice("ABC")}" '
+        f'reviewid="rv{rng.randrange(10**6)}">'
+    )
+    for _ in range(rng.randrange(2, 4)):
+        out.append(
+            f'<author orcid="0000-{rng.randrange(10**4):04d}">'
+            f"{proper_name(rng)}</author>"
+        )
+    if math_title:
+        # The combined title value is numeric => a non-leaf double.
+        out.append(
+            f"<title>{rng.randrange(1, 9)}<sup>{rng.randrange(2, 64)}</sup>"
+            f"{rng.randrange(100)}</title>"
+        )
+    elif rng.random() < 0.5:
+        out.append(
+            f"<title>{sentence(rng, 3)}<i>{sentence(rng, 1)}</i>"
+            f"{sentence(rng, 2)}</title>"
+        )
+    else:
+        out.append(f"<title>{sentence(rng, 5)}</title>")
+    out.append(f"<journal>{rng.choice(_VENUES)}</journal>")
+    start = rng.randrange(1, 500)
+    out.append(f"<pages>{start}-{start + rng.randrange(5, 30)}</pages>")
+    out.append(f"<year>{rng.randrange(1970, 2009)}</year>")
+    out.append(f"<volume>{rng.randrange(1, 40)}</volume>")
+    out.append(f"<number>{rng.randrange(1, 12)}</number>")
+    out.append(f"</{kind}>")
+
+
+def generate_dblp(
+    scale: float, seed: int = 3, math_titles: int | None = None
+) -> str:
+    """Generate a DBLP-like document of roughly
+    ``scale * NODES_PER_SCALE`` nodes.
+
+    ``math_titles`` controls the number of non-leaf-double titles
+    (default: scales the paper's 21 with document size, minimum 1).
+    """
+    rng = random.Random(seed)
+    publications = max(1, round(scale * NODES_PER_SCALE / 27))
+    if math_titles is None:
+        math_titles = max(1, round(21 * scale * NODES_PER_SCALE / 34_799_707))
+    math_slots = set(
+        rng.sample(range(publications), min(math_titles, publications))
+    )
+    out = ["<dblp>"]
+    for number in range(publications):
+        _publication(rng, out, number, math_title=number in math_slots)
+    out.append("</dblp>")
+    return "".join(out)

@@ -1,0 +1,61 @@
+"""EPAGeo-like geospatial dataset generator.
+
+The paper's EPAGeo corpus (EPA geospatial downloads, 170 MB) carries
+~66% value leaves and ~7% potential-double values (Table 1), with no
+non-leaf doubles.  The analogue: flat facility records, attribute-
+heavy (ids, state/county codes), with decimal latitude plus a
+longitude that is only sometimes in plain decimal form (DMS-style
+strings reject, which is what keeps the double share at ~7%).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .words import sentence
+
+__all__ = ["generate_epageo", "NODES_PER_SCALE"]
+
+#: Approximate generated nodes at ``scale=1.0``.
+NODES_PER_SCALE = 13100
+
+_STATES = ("AZ", "CA", "NM", "NV", "OR", "TX", "UT", "WA")
+
+
+def _facility(rng: random.Random, out: list[str], number: int) -> None:
+    state = rng.choice(_STATES)
+    out.append(
+        f'<facility registry_id="REG{number:07d}" state="{state}" '
+        f'county="{rng.choice(_STATES)}{rng.randrange(99):02d}" '
+        f'epa_region="R{rng.randrange(1, 11)}" '
+        f'program="{rng.choice(("AIR", "WATER", "WASTE"))}" '
+        f'status="{rng.choice(("ACTIVE", "CLOSED"))}" '
+        f'naics="N{rng.randrange(10000, 99999)}" '
+        f'huc="H{rng.randrange(10000000)}">'
+    )
+    out.append(f"<name>{sentence(rng, 3).upper()}</name>")
+    out.append(f"<street>{rng.randrange(1, 9999)} {sentence(rng, 2)}</street>")
+    out.append(f"<city>{sentence(rng, 1).upper()}</city>")
+    out.append(f"<collection_method>{sentence(rng, 2)}</collection_method>")
+    out.append(f"<latitude>{rng.uniform(24, 49):.6f}</latitude>")
+    if rng.random() < 0.5:
+        out.append(f"<longitude>{rng.uniform(-125, -66):.6f}</longitude>")
+    else:
+        # DMS form ("W 112 04 30") — not a double lexical value.
+        out.append(
+            f"<longitude>W {rng.randrange(66, 125)} "
+            f"{rng.randrange(60)} {rng.randrange(60)}</longitude>"
+        )
+    out.append("</facility>")
+
+
+def generate_epageo(scale: float, seed: int = 2) -> str:
+    """Generate an EPAGeo-like document of roughly
+    ``scale * NODES_PER_SCALE`` nodes."""
+    rng = random.Random(seed)
+    facilities = max(1, round(scale * NODES_PER_SCALE / 22))
+    out = ['<geo_data source="EPA">']
+    for number in range(facilities):
+        _facility(rng, out, number)
+    out.append("</geo_data>")
+    return "".join(out)

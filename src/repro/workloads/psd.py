@@ -1,0 +1,108 @@
+"""PSD-like protein-sequence dataset generator.
+
+The paper's PSD corpus (Georgetown Protein Sequence Database, 685 MB)
+has ~63% value leaves, a low ~4% share of potential-double values, and
+the largest number of non-leaf potential doubles (902 of 58.4 M
+nodes): sequence spans decomposed into ``<from>``/``<to>`` children
+whose concatenation is numeric.  The analogue emits protein entries
+with reference blocks, amino-acid sequence strings (always rejected by
+the double FSM), and rare decomposed ``<seq-spec>`` spans at the
+paper's per-node rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .words import proper_name, sentence
+
+__all__ = ["generate_psd", "NODES_PER_SCALE"]
+
+#: Approximate generated nodes at ``scale=1.0``.
+NODES_PER_SCALE = 116900
+
+#: The paper's non-leaf-double rate: 902 per 58,445,809 nodes.
+_NON_LEAF_RATE = 902 / 58_445_809
+
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def _reference(rng: random.Random, out: list[str]) -> None:
+    out.append(
+        f'<reference refid="ref{rng.randrange(10**6)}" '
+        f'journal="{sentence(rng, 1)}" medline="m{rng.randrange(10**7)}">'
+    )
+    for _ in range(2):
+        out.append(f"<author>{proper_name(rng)}</author>")
+    out.append(f"<citation>{sentence(rng, 4)}</citation>")
+    if rng.random() < 0.5:
+        out.append(f"<year>{rng.randrange(1975, 2009)}</year>")
+    else:
+        # "Dec 1999" style: rejected by the double FSM.
+        out.append(f"<year>Dec {rng.randrange(1975, 2009)}</year>")
+    out.append("</reference>")
+
+
+def _protein(
+    rng: random.Random, out: list[str], number: int, decomposed_span: bool
+) -> None:
+    out.append(
+        f'<protein id="P{number:06d}" type="{rng.choice(("complete", "fragment"))}" '
+        f'curation="{rng.choice(("reviewed", "unreviewed"))}" '
+        f'created="{rng.randrange(1, 29)}-Dec-{rng.randrange(1990, 2009)}" '
+        f'modified="{rng.randrange(1, 29)}-Jan-{rng.randrange(1990, 2009)}">'
+    )
+    for _ in range(2):
+        out.append(
+            f'<xref db="{rng.choice(("PIR", "SWISS", "GB"))}" '
+            f'accession="X{rng.randrange(10**6):06d}"/>'
+        )
+    out.append(f"<name>{sentence(rng, 3)}</name>")
+    out.append(f"<organism>{proper_name(rng)}</organism>")
+    out.append(f"<classification>{sentence(rng, 2)}</classification>")
+    out.append(f"<keywords>{sentence(rng, 3)}</keywords>")
+    sequence = "".join(rng.choice(_AMINO) for _ in range(rng.randrange(30, 90)))
+    out.append(f"<sequence>{sequence}</sequence>")
+    out.append(f"<length>{len(sequence)}</length>")
+    if rng.random() < 0.3:
+        out.append(f"<mass>{rng.uniform(5000, 120000):.1f}</mass>")
+    else:
+        out.append(f"<mass>{rng.uniform(5000, 120000):.1f} Da</mass>")
+    if decomposed_span:
+        # Concatenated span value is numeric: a non-leaf double.
+        out.append(
+            f"<seq-spec><from>{rng.randrange(1, 9)}</from>"
+            f"<to>{rng.randrange(10, 99)}</to></seq-spec>"
+        )
+    else:
+        out.append(
+            f"<seq-spec>{rng.randrange(1, 9)}-{rng.randrange(10, 99)}</seq-spec>"
+        )
+    for _ in range(rng.randrange(1, 3)):
+        _reference(rng, out)
+    out.append("</protein>")
+
+
+def generate_psd(
+    scale: float, seed: int = 4, decomposed_spans: int | None = None
+) -> str:
+    """Generate a PSD-like document of roughly
+    ``scale * NODES_PER_SCALE`` nodes.
+
+    ``decomposed_spans`` fixes the number of non-leaf-double spans
+    (default: the paper's per-node rate, minimum 1).
+    """
+    rng = random.Random(seed)
+    proteins = max(1, round(scale * NODES_PER_SCALE / 53))
+    if decomposed_spans is None:
+        decomposed_spans = max(
+            1, round(scale * NODES_PER_SCALE * _NON_LEAF_RATE)
+        )
+    decomposed = set(
+        rng.sample(range(proteins), min(decomposed_spans, proteins))
+    )
+    out = ["<proteindatabase>"]
+    for number in range(proteins):
+        _protein(rng, out, number, decomposed_span=number in decomposed)
+    out.append("</proteindatabase>")
+    return "".join(out)

@@ -1,0 +1,70 @@
+"""Named query workloads per evaluation dataset.
+
+The paper motivates the indices with XPath value predicates but does
+not publish a query set; these workloads exercise each corpus's
+characteristic shapes — XMark-style auction lookups, DBLP year ranges,
+PSD mass ranges, Wiki substring searches — and are used by the query
+benchmarks and examples.  Every query is answerable both by index plan
+and by full scan, so agreement can always be asserted.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QUERY_SETS", "queries_for"]
+
+_XMARK = [
+    ("equality on a numeric leaf", "//item[quantity = 5]"),
+    ("price range", "//item[price < 10]"),
+    ("open range", "//open_auction[initial >= 100]"),
+    ("string equality on a word field", '//person[city = "magrathea"]'),
+    ("conjunction", "//item[quantity = 5 and price < 100]"),
+    ("disjunction", "//person[age = 42 or age = 43]"),
+    ("attribute equality", '//item[@featured = "y"]'),
+    ("nested predicate path", "//open_auction[.//increase > 100]"),
+]
+
+_DBLP = [
+    ("publications of a year", "//article[year = 1999]"),
+    ("year range", "//inproceedings[year >= 2000 and year < 2005]"),
+    ("journal equality", '//article[journal = "EDBT"]'),
+    ("volume lookup", "//article[volume = 12]"),
+    ("author equality", '//article[author = "Towel Guide"]'),
+]
+
+_PSD = [
+    ("sequence length", "//protein[length = 60]"),
+    ("length range", "//protein[length > 80]"),
+    ("reference year", "//reference[year = 1999]"),
+    ("organism equality", '//protein[organism = "Vogon Poetry"]'),
+]
+
+_WIKI = [
+    ("title equality", '//doc[title = "Wikipedia: vogon poetry"]'),
+    ("pageid lookup", "//doc[pageid = 7]"),
+    ("anchor text", '//sublink[anchor = "deep thought"]'),
+]
+
+QUERY_SETS: dict[str, list[tuple[str, str]]] = {
+    "XMark1": _XMARK,
+    "XMark2": _XMARK,
+    "XMark4": _XMARK,
+    "XMark8": _XMARK,
+    "DBLP": _DBLP,
+    "PSD": _PSD,
+    "Wiki": _WIKI,
+    "EPAGeo": [
+        ("latitude range", "//facility[latitude > 40]"),
+        ("state attribute", '//facility[@state = "AZ"]'),
+        ("city equality", '//facility[city = "GALAXY"]'),
+    ],
+}
+
+
+def queries_for(dataset_name: str) -> list[tuple[str, str]]:
+    """(description, query) pairs for a catalog dataset."""
+    try:
+        return QUERY_SETS[dataset_name]
+    except KeyError:
+        raise KeyError(
+            f"no query set for {dataset_name!r}; known: {sorted(QUERY_SETS)}"
+        ) from None

@@ -1,0 +1,123 @@
+"""Dataset statistics — the quantities of the paper's Table 1.
+
+Definitions (documented deviations from the paper where its own
+definitions are not fully recoverable):
+
+* **total nodes** — all rows in the pre plane: document, element,
+  text, attribute, comment and PI nodes.
+* **text nodes** — value-bearing leaves: text nodes *plus attribute
+  nodes*.  MonetDB/XQuery stores attribute values in the same value
+  heap as text content, and the paper's reported text fractions (64%
+  for XMark) exceed the structural maximum for pure text nodes
+  (text siblings must be separated by elements, so text ≤ ~2·elements),
+  which indicates its count includes attribute values.
+* **double values** — value-bearing leaves whose content is a
+  *potential valid* double lexical representation (the FSM does not
+  reject it).
+* **non-leaf** — element nodes with at least one element child whose
+  *combined* value is potential-valid and contains at least one digit
+  (the paper's "intermediate nodes that cast to a specific XML type";
+  the digit requirement keeps empty/whitespace elements out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fsm import get_plugin
+from ..xmldb.document import ATTR, ELEM, TEXT, Document
+
+__all__ = ["DatasetStats", "collect_stats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 1."""
+
+    name: str
+    size_bytes: int
+    total_nodes: int
+    text_nodes: int
+    double_values: int
+    non_leaf_doubles: int
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+    @property
+    def text_fraction(self) -> float:
+        return self.text_nodes / self.total_nodes if self.total_nodes else 0.0
+
+    @property
+    def double_fraction(self) -> float:
+        return self.double_values / self.total_nodes if self.total_nodes else 0.0
+
+    def row(self) -> str:
+        """Format as a Table 1 row."""
+        return (
+            f"{self.name:<10} {self.size_mb:8.1f} {self.total_nodes:>12,} "
+            f"{self.text_nodes:>12,} {self.text_fraction:5.0%} "
+            f"{self.double_values:>10,} {self.double_fraction:5.1%} "
+            f"{self.non_leaf_doubles:>8,}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'Data':<10} {'Size MB':>8} {'Total Nodes':>12} "
+            f"{'Text Nodes':>12} {'%':>5} {'Doubles':>10} {'%':>5} "
+            f"{'non-leaf':>8}"
+        )
+
+
+def collect_stats(doc: Document, name: str | None = None) -> DatasetStats:
+    """Compute the Table 1 row for a shredded document."""
+    double = get_plugin("double")
+    total = len(doc)
+    text_nodes = 0
+    double_values = 0
+    non_leaf = 0
+    # Per-node double fragments, folded bottom-up over the pre plane
+    # (reverse pre order: children precede parents).
+    fragments = [None] * total
+    kinds = doc.kind
+    for pre in range(total - 1, -1, -1):
+        kind = kinds[pre]
+        if kind in (TEXT, ATTR):
+            text_nodes += 1
+            fragment = double.fragment_of_text(doc.text_of(pre))
+            fragments[pre] = fragment
+            if not fragment.is_rejected:
+                double_values += 1
+        elif kind == ELEM or kind == 0:  # element or document
+            fragment = double.empty_fragment
+            has_element_child = False
+            for child in doc.children(pre):
+                child_kind = kinds[child]
+                if child_kind == ELEM:
+                    has_element_child = True
+                if child_kind in (ELEM, TEXT):
+                    child_fragment = fragments[child]
+                    fragment = double.combine(fragment, child_fragment)
+            fragments[pre] = fragment
+            if (
+                kind == ELEM
+                and has_element_child
+                and not fragment.is_rejected
+                and any(
+                    cid in double.run_class_ids
+                    for cid, _p, _l in fragment.tokens
+                )
+            ):
+                non_leaf += 1
+        else:
+            fragments[pre] = double.empty_fragment
+    return DatasetStats(
+        name=name or doc.name,
+        size_bytes=doc.source_bytes,
+        total_nodes=total,
+        text_nodes=text_nodes,
+        double_values=double_values,
+        non_leaf_doubles=non_leaf,
+    )

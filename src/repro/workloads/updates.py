@@ -1,0 +1,52 @@
+"""Random update workloads (the paper's Figure 10 methodology).
+
+"The update queries were created by first defining the number of text
+nodes whose values should be updated, and then randomly picking the
+specified number of the text nodes for each document in the database."
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmldb.document import TEXT, Document
+from .words import double_text, sentence
+
+__all__ = ["random_text_updates", "text_nids"]
+
+
+def text_nids(doc: Document) -> list[int]:
+    """All text-node nids of a document, in document order."""
+    return [
+        doc.nid[pre] for pre in range(len(doc)) if doc.kind[pre] == TEXT
+    ]
+
+
+def random_text_updates(
+    doc: Document,
+    count: int,
+    rng: random.Random | None = None,
+    numeric_share: float = 0.25,
+) -> list[tuple[int, str]]:
+    """Pick ``count`` random text nodes and fresh values for them.
+
+    Sampling is without replacement while ``count`` fits the document,
+    with replacement beyond that (matching the paper's workloads that
+    update up to 10^6 nodes).  New values are a mix of sentences and
+    numeric strings so both the string and the double index see churn.
+    """
+    rng = rng or random.Random(0)
+    population = text_nids(doc)
+    if not population:
+        raise ValueError(f"document {doc.name!r} has no text nodes")
+    if count <= len(population):
+        chosen = rng.sample(population, count)
+    else:
+        chosen = [rng.choice(population) for _ in range(count)]
+    updates = []
+    for nid in chosen:
+        if rng.random() < numeric_share:
+            updates.append((nid, double_text(rng)))
+        else:
+            updates.append((nid, sentence(rng, rng.randrange(1, 5))))
+    return updates

@@ -1,0 +1,126 @@
+"""Wikipedia-abstract-like dataset generator.
+
+The paper's Wiki corpus (2 GB of article abstracts) is the largest and
+most text-heavy dataset: ~56% value leaves, almost no doubles (0.1%),
+and — critically for Figure 11 — URL-rich content that defeats the
+hash function's 27-position circular XOR: "the different characters
+between two distinct URLs are repeated every 27 positions, while the
+rest data remain the same", producing up to 9 distinct strings per
+hash value.
+
+The analogue emits articles with sublink URLs, a controlled share of
+which come from *collision families*: URLs that differ only by a
+permutation of characters at positions 27 apart, so every member of a
+family hashes identically (characters at string positions ``i`` and
+``i + 27k`` XOR into the same c-array offset).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from .words import sentence
+
+__all__ = ["generate_wiki", "collision_family", "NODES_PER_SCALE"]
+
+#: Approximate generated nodes at ``scale=1.0``.
+NODES_PER_SCALE = 189000
+
+
+def collision_family(rng: random.Random, size: int) -> list[str]:
+    """Build ``size`` distinct URLs that all hash to the same value.
+
+    The URLs share every character except at three positions spaced 27
+    apart, which hold permutations of three distinct characters.  Since
+    the hash XORs the character at string index ``i`` into c-array
+    offset ``5·i mod 27``, characters 27 positions apart land on the
+    same offset; any permutation of the same multiset over those slots
+    yields the same hash.  Three slots give 6 variants; a fourth slot
+    pair extends the family to the paper-observed maximum of 9.
+    """
+    if not 2 <= size <= 9:
+        raise ValueError("family size must be in 2..9")
+    prefix = "http://www."
+    letters = string.ascii_lowercase
+    mid_a = "".join(rng.choice(letters) for _ in range(26))
+    mid_b = "".join(rng.choice(letters) for _ in range(26))
+    suffix = "/wiki/" + "".join(rng.choice(letters) for _ in range(8))
+    a, b, c = rng.sample(letters, 3)
+    perms = [
+        (a, b, c), (a, c, b), (b, a, c), (b, c, a), (c, a, b), (c, b, a),
+    ]
+    family = [
+        f"{prefix}{x}{mid_a}{y}{mid_b}{z}{suffix}" for x, y, z in perms
+    ]
+    if size > 6:
+        # Swap a second, independent pair 27 positions apart inside the
+        # suffix region of the first few variants.
+        d, e = rng.sample(letters, 2)
+        tail = "".join(rng.choice(letters) for _ in range(26))
+        extended = [
+            f"{base}{d}{tail}{e}" for base in family[:3]
+        ] + [f"{base}{e}{tail}{d}" for base in family[:3]]
+        family = [f"{base}{d}{tail}{e}" for base in family] + extended[3:]
+    return family[:size]
+
+
+def _article(
+    rng: random.Random, out: list[str], number: int, urls: list[str]
+) -> None:
+    out.append("<doc>")
+    out.append(f"<title>Wikipedia: {sentence(rng, 2)}</title>")
+    out.append(f"<abstract>{sentence(rng, rng.randrange(12, 30))}</abstract>")
+    out.append("<links>")
+    for url in urls:
+        if rng.random() < 0.4:
+            out.append(
+                f'<sublink linktype="nav" url="{url}">'
+                f"<anchor>{sentence(rng, 2)}</anchor></sublink>"
+            )
+        else:
+            out.append(
+                f'<sublink linktype="nav" anchor="{sentence(rng, 2)}" '
+                f'url="{url}"/>'
+            )
+    out.append("</links>")
+    if rng.random() < 0.012:
+        out.append(f"<pageid>{number}</pageid>")
+    out.append("</doc>")
+
+
+def generate_wiki(
+    scale: float, seed: int = 5, collision_share: float = 0.04
+) -> str:
+    """Generate a Wiki-like document of roughly
+    ``scale * NODES_PER_SCALE`` nodes.
+
+    ``collision_share`` is the fraction of URLs drawn from collision
+    families (size 2-9, smaller families more common), reproducing the
+    Figure 11 tail.
+    """
+    rng = random.Random(seed)
+    articles = max(1, round(scale * NODES_PER_SCALE / 19))
+    # Pre-build the collision families the URL stream will draw from.
+    family_urls: list[str] = []
+    target_family_urls = int(articles * 3 * collision_share)
+    while len(family_urls) < target_family_urls:
+        size = rng.choices(
+            (2, 3, 4, 5, 6, 7, 8, 9),
+            weights=(40, 20, 12, 9, 7, 5, 4, 3),
+        )[0]
+        family_urls.extend(collision_family(rng, size))
+    rng.shuffle(family_urls)
+    letters = string.ascii_lowercase
+    out = ["<feed>"]
+    for number in range(articles):
+        urls = []
+        for _ in range(rng.randrange(2, 5)):
+            if family_urls and rng.random() < collision_share * 2:
+                urls.append(family_urls.pop())
+            else:
+                path = "".join(rng.choice(letters) for _ in range(rng.randrange(8, 20)))
+                urls.append(f"http://www.{sentence(rng, 1)}.org/wiki/{path}")
+        _article(rng, out, number, urls)
+    out.append("</feed>")
+    return "".join(out)

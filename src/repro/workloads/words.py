@@ -1,0 +1,69 @@
+"""Deterministic text/number builders shared by the dataset generators.
+
+All generators draw from seeded ``random.Random`` instances, so every
+dataset is reproducible byte-for-byte for a given (scale, seed).
+Content is built from an XML-safe alphabet (no ``&``, ``<``, ``>``), so
+generated markup needs no escaping.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "WORDS",
+    "sentence",
+    "proper_name",
+    "double_text",
+    "integer_text",
+    "date_text",
+]
+
+# A Halliday-flavoured vocabulary; 64 words so sampling is cheap.
+WORDS = (
+    "towel galaxy improbability babel fish pan dimensional mice dolphin "
+    "vogon poetry bypass earth mostly harmless guide restaurant universe "
+    "tea infinite drive gold heart marvin paranoid android sirius "
+    "cybernetics corporation deep thought question answer forty two "
+    "petunia whale sperm bowl jewelled crab ford prefect zaphod trillian "
+    "slartibartfast fjord norway coastline award magrathea planet factory "
+    "hyperspace express route demolition council lunch time paradox"
+).split()
+
+_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def sentence(rng: random.Random, n_words: int) -> str:
+    """A space-separated pseudo-sentence of ``n_words`` words."""
+    return " ".join(rng.choice(WORDS) for _ in range(n_words))
+
+
+def proper_name(rng: random.Random) -> str:
+    """A capitalised two-part name."""
+    return f"{rng.choice(WORDS).capitalize()} {rng.choice(WORDS).capitalize()}"
+
+
+def double_text(rng: random.Random) -> str:
+    """A double value in one of the lexical shapes the FSM accepts."""
+    shape = rng.randrange(5)
+    if shape == 0:
+        return str(rng.randrange(100000))
+    if shape == 1:
+        return f"{rng.uniform(0, 1000):.2f}"
+    if shape == 2:
+        return f"{rng.uniform(-90, 90):.6f}"
+    if shape == 3:
+        return f"{rng.uniform(0, 10):.3f}E{rng.randrange(-5, 6)}"
+    return f".{rng.randrange(1000)}"
+
+
+def integer_text(rng: random.Random, low: int = 0, high: int = 10000) -> str:
+    return str(rng.randrange(low, high))
+
+
+def date_text(rng: random.Random) -> str:
+    """A slash date (``MM/DD/YYYY``) — intentionally *not* castable to a
+    double, like XMark's date fields."""
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, _MONTH_DAYS[month - 1] + 1)
+    return f"{month:02d}/{day:02d}/{rng.randrange(1998, 2009)}"

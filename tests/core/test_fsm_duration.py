@@ -1,0 +1,130 @@
+"""Tests for the xs:duration machine."""
+
+import pytest
+from decimal import Decimal
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import get_plugin
+from repro.core.fsm.duration import SECONDS_PER_MONTH
+
+
+@pytest.fixture(scope="module")
+def duration():
+    return get_plugin("duration")
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P1Y", "P2M", "P3D", "PT4H", "PT5M", "PT6S", "PT6.5S",
+            "P1Y2M3DT4H5M6.7S", "-P1D", " P1Y ", "P1YT1S", "P12M",
+        ],
+    )
+    def test_valid(self, duration, text):
+        assert duration.value_of_text(text) is not None, text
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P",  # no components
+            "PT",  # T without time component
+            "P1",  # number without unit
+            "P1S",  # S in the date part
+            "PT1Y",  # Y in the time part
+            "P1D2Y",  # wrong order
+            "PT1M2H",  # wrong order
+            "1Y",  # missing P
+            "P1.5Y",  # fraction only allowed on seconds
+            "P1Y text",
+        ],
+    )
+    def test_invalid(self, duration, text):
+        assert duration.value_of_text(text) is None, text
+
+
+class TestValues:
+    def test_simple_components(self, duration):
+        assert duration.value_of_text("PT1S") == 1
+        assert duration.value_of_text("PT1M") == 60
+        assert duration.value_of_text("PT1H") == 3600
+        assert duration.value_of_text("P1D") == 86400
+        assert duration.value_of_text("P1M") == SECONDS_PER_MONTH
+        assert duration.value_of_text("P1Y") == 12 * SECONDS_PER_MONTH
+
+    def test_date_month_vs_time_minute(self, duration):
+        """'M' means months before T and minutes after it."""
+        assert duration.value_of_text("P1M") != duration.value_of_text("PT1M")
+
+    def test_fractional_seconds(self, duration):
+        assert duration.value_of_text("PT0.25S") == Decimal("0.25")
+
+    def test_negative(self, duration):
+        assert duration.value_of_text("-PT30S") == -30
+
+    def test_composite(self, duration):
+        value = duration.value_of_text("P1DT2H3M4S")
+        assert value == 86400 + 2 * 3600 + 3 * 60 + 4
+
+    def test_year_equals_twelve_months(self, duration):
+        assert duration.value_of_text("P1Y") == duration.value_of_text("P12M")
+
+    def test_ordering(self, duration):
+        assert duration.value_of_text("PT1S") < duration.value_of_text("PT2S")
+        assert duration.value_of_text("P1D") < duration.value_of_text("P1M")
+
+
+class TestCombination:
+    def test_split_fragments(self, duration):
+        left = duration.fragment_of_text("P1Y2")
+        right = duration.fragment_of_text("M")
+        combined = duration.combine(left, right)
+        assert duration.cast(combined) == duration.value_of_text("P1Y2M")
+
+    def test_split_in_time_part(self, duration):
+        combined = duration.combine_all(
+            duration.fragment_of_text(t) for t in ("PT", "4H", "30M")
+        )
+        assert duration.cast(combined) == duration.value_of_text("PT4H30M")
+
+    def test_rejected_fragment(self, duration):
+        assert duration.fragment_of_text("Q").is_rejected
+
+
+_DURATION_ALPHABET = "0123456789PYMDTHS.- "
+duration_texts = st.text(alphabet=_DURATION_ALPHABET, max_size=16)
+
+
+@given(duration_texts, duration_texts)
+@settings(max_examples=200)
+def test_sct_matches_concatenation(a, b):
+    duration = get_plugin("duration")
+    combined = duration.combine(
+        duration.fragment_of_text(a), duration.fragment_of_text(b)
+    )
+    direct = duration.fragment_of_text(a + b)
+    assert combined.state == direct.state
+    assert duration.cast(combined) == duration.cast(direct)
+
+
+def test_typed_index_on_durations():
+    from repro.core import IndexManager
+
+    manager = IndexManager(typed=("duration",))
+    manager.load(
+        "tasks",
+        "<tasks>"
+        "<task><est>PT2H</est></task>"
+        "<task><est>P1DT1H</est></task>"
+        "<task><est>PT45M</est></task>"
+        "<task><est>soon</est></task>"
+        "</tasks>",
+    )
+    hits = list(
+        manager.lookup_typed_range("duration", 3600, 86400)
+    )
+    values = sorted(v for v, _ in hits)
+    # PT2H appears as text, <est> and the wrapping <task> (whose string
+    # value is also "PT2H") — 7200 s each.
+    assert values == [7200, 7200, 7200]

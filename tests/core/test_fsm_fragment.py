@@ -1,0 +1,253 @@
+"""Tests for fragments: tokenisation, combination, casting, rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import REJECT_FRAGMENT, get_plugin
+
+
+@pytest.fixture(scope="module")
+def double():
+    return get_plugin("double")
+
+
+double_texts = st.text(alphabet="0123456789+-.eE \t", max_size=30)
+
+
+class TestTokenize:
+    def test_illegal_char_returns_none(self, double):
+        assert double.tokenize("42x") is None
+        assert double.tokenize("4é2") is None
+
+    def test_digit_runs_compress(self, double):
+        tokens = double.tokenize("000123")
+        assert len(tokens) == 1
+        cid, value, length = tokens[0]
+        assert (value, length) == (123, 6)
+
+    def test_whitespace_collapses(self, double):
+        tokens = double.tokenize("   \t\n")
+        assert len(tokens) == 1
+
+    def test_sign_keeps_character(self, double):
+        minus = double.tokenize("-")[0]
+        plus = double.tokenize("+")[0]
+        assert minus[1] == "-" and plus[1] == "+"
+
+    def test_empty_text(self, double):
+        assert double.tokenize("") == ()
+
+
+class TestFragmentOfText:
+    def test_rejects_non_numeric(self, double):
+        assert double.fragment_of_text("hello").is_rejected
+        assert double.fragment_of_text("42 text").is_rejected
+
+    def test_useless_states_fold_to_reject(self, double):
+        # "1 2" — digits, ws, digits — passes tokenisation but no
+        # completion can ever make it a double.
+        assert double.fragment_of_text("1 2").is_rejected
+
+    def test_potential_fragments_survive(self, double):
+        for text in (".", "E+93 ", "-", "12.", "E", "+"):
+            fragment = double.fragment_of_text(text)
+            assert not fragment.is_rejected, text
+            assert not double.is_castable(fragment) or text == "12."
+
+    def test_empty_is_identity(self, double):
+        fragment = double.fragment_of_text("")
+        assert fragment == double.empty_fragment
+        other = double.fragment_of_text("4.2")
+        assert double.combine(fragment, other) == other
+        assert double.combine(other, fragment) == other
+
+
+class TestCast:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42.0),
+            ("42.0", 42.0),
+            (" +4.2E1", 42.0),
+            ("78.230", 78.23),
+            ("12.", 12.0),
+            (".5", 0.5),
+            ("-0", 0.0),
+            ("1e309", float("inf")),  # IEEE overflow semantics
+        ],
+    )
+    def test_castable_values(self, double, text, expected):
+        assert double.value_of_text(text) == expected
+
+    @pytest.mark.parametrize("text", [".", "E+93", "42 text", "", "  "])
+    def test_non_castable(self, double, text):
+        assert double.value_of_text(text) is None
+
+    def test_cast_of_reject_fragment(self, double):
+        assert double.cast(REJECT_FRAGMENT) is None
+
+
+class TestCombine:
+    def test_paper_weight_example(self, double):
+        """<kilos>78</kilos>.<grams>230</grams> casts to 78.230."""
+        fragments = [double.fragment_of_text(t) for t in ("78", ".", "230")]
+        combined = double.combine_all(fragments)
+        assert double.cast(combined) == 78.230
+
+    def test_paper_age_example(self, double):
+        """<decades>4</decades>2<years/> casts to 42."""
+        fragments = [
+            double.fragment_of_text("4"),
+            double.fragment_of_text("2"),
+            double.empty_fragment,  # <years/> contributes nothing
+        ]
+        assert double.cast(double.combine_all(fragments)) == 42.0
+
+    def test_leading_zero_fraction_is_preserved(self, double):
+        """".0" + "5" must give 0.05, not 0.5 — the losslessness our
+        token payload buys over a bare [value, state] pair."""
+        combined = double.combine(
+            double.fragment_of_text(".0"), double.fragment_of_text("5")
+        )
+        assert double.cast(combined) == 0.05
+
+    def test_reject_absorbs(self, double):
+        good = double.fragment_of_text("42")
+        assert double.combine(good, REJECT_FRAGMENT).is_rejected
+        assert double.combine(REJECT_FRAGMENT, good).is_rejected
+
+    def test_combination_can_reject(self, double):
+        a = double.fragment_of_text("42 ")
+        b = double.fragment_of_text("5")
+        assert double.combine(a, b).is_rejected
+
+    @given(double_texts, double_texts)
+    @settings(max_examples=300)
+    def test_combine_equals_fragment_of_concat(self, double, a, b):
+        combined = double.combine(
+            double.fragment_of_text(a), double.fragment_of_text(b)
+        )
+        direct = double.fragment_of_text(a + b)
+        assert combined.state == direct.state
+        assert double.cast(combined) == double.cast(direct)
+
+    @given(st.lists(double_texts, max_size=6))
+    @settings(max_examples=200)
+    def test_combine_all_equals_concat(self, double, parts):
+        combined = double.combine_all(
+            double.fragment_of_text(p) for p in parts
+        )
+        direct = double.fragment_of_text("".join(parts))
+        assert combined.state == direct.state
+        assert double.cast(combined) == double.cast(direct)
+
+    @given(double_texts, double_texts, double_texts)
+    @settings(max_examples=150)
+    def test_combine_is_associative(self, double, a, b, c):
+        fa, fb, fc = (double.fragment_of_text(t) for t in (a, b, c))
+        left = double.combine(double.combine(fa, fb), fc)
+        right = double.combine(fa, double.combine(fb, fc))
+        assert left.state == right.state
+        assert double.cast(left) == double.cast(right)
+
+
+class TestRender:
+    def test_paper_reconstruction_example(self, double):
+        """Paper: value "26" with state s7 reconstructs as "26E+"."""
+        fragment = double.fragment_of_text("26E+")
+        assert double.render(fragment.tokens) == "26E+"
+
+    def test_render_preserves_leading_zeros(self, double):
+        fragment = double.fragment_of_text("007")
+        assert double.render(fragment.tokens) == "007"
+
+    def test_render_canonicalizes_ws_and_e(self, double):
+        fragment = double.fragment_of_text("  1e3")
+        assert double.render(fragment.tokens) == " 1E3"
+
+    @given(double_texts)
+    @settings(max_examples=200)
+    def test_render_roundtrips_state_and_value(self, double, text):
+        fragment = double.fragment_of_text(text)
+        if fragment.is_rejected:
+            return
+        rendered = double.render(fragment.tokens)
+        again = double.fragment_of_text(rendered)
+        assert again.state == fragment.state
+        assert double.cast(again) == double.cast(fragment)
+
+
+class TestByteSize:
+    def test_rejected_costs_nothing(self, double):
+        assert double.byte_size_of(REJECT_FRAGMENT) == 0
+
+    def test_simple_number(self, double):
+        # state (1) + 3 digits BCD (2 bytes) = 3
+        assert double.byte_size_of(double.fragment_of_text("230")) == 3
+
+    def test_marker_tokens_cost_one_byte(self, double):
+        size = double.byte_size_of(double.fragment_of_text("-1.5E+2"))
+        # state 1 + sign 1 + digit 1 + dot 1 + digit 1 + E 1 + sign 1 + digit 1
+        assert size == 8
+
+
+class TestOtherTypes:
+    def test_integer(self):
+        integer = get_plugin("integer")
+        assert integer.value_of_text(" -042 ") == -42
+        assert integer.value_of_text("4.2") is None
+
+    def test_decimal(self):
+        from decimal import Decimal
+
+        decimal = get_plugin("decimal")
+        assert decimal.value_of_text("4.20") == Decimal("4.20")
+        assert decimal.value_of_text("4e2") is None
+
+    def test_boolean(self):
+        boolean = get_plugin("boolean")
+        assert boolean.value_of_text("true") is True
+        assert boolean.value_of_text(" 0 ") is False
+        # "tru" + "e" combined across mixed content
+        combined = boolean.combine(
+            boolean.fragment_of_text("tru"), boolean.fragment_of_text("e")
+        )
+        assert boolean.cast(combined) is True
+
+    def test_datetime_combination(self):
+        datetime_ = get_plugin("dateTime")
+        combined = datetime_.combine(
+            datetime_.fragment_of_text("1966-09-"),
+            datetime_.fragment_of_text("26T12:30:00Z"),
+        )
+        assert datetime_.cast(combined) == datetime_.value_of_text(
+            "1966-09-26T12:30:00Z"
+        )
+
+    def test_datetime_semantic_rejection(self):
+        datetime_ = get_plugin("dateTime")
+        assert datetime_.value_of_text("1966-13-26T12:30:00Z") is None
+        assert datetime_.value_of_text("1966-02-30T12:30:00Z") is None
+        assert datetime_.value_of_text("1966-09-26T25:00:00Z") is None
+
+    def test_datetime_timezone_ordering(self):
+        datetime_ = get_plugin("dateTime")
+        utc = datetime_.value_of_text("2020-01-01T12:00:00Z")
+        plus2 = datetime_.value_of_text("2020-01-01T14:00:00+02:00")
+        assert utc == plus2
+
+    def test_date_and_time(self):
+        date = get_plugin("date")
+        time_ = get_plugin("time")
+        assert date.value_of_text("1970-01-02") == 86400
+        assert time_.value_of_text("01:00:00") == 3600
+        assert date.value_of_text("1970-01-02") > date.value_of_text(
+            "1970-01-01"
+        )
+
+    def test_leap_year_handling(self):
+        date = get_plugin("date")
+        assert date.value_of_text("2020-02-29") is not None
+        assert date.value_of_text("2100-02-29") is None  # not a leap year
+        assert date.value_of_text("2000-02-29") is not None

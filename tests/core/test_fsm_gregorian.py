@@ -1,0 +1,105 @@
+"""Tests for the Gregorian partial-date machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import get_plugin
+
+
+@pytest.fixture(scope="module")
+def gyear():
+    return get_plugin("gYear")
+
+
+class TestGYear:
+    @pytest.mark.parametrize("text", ["2008", "0001", " 2008 ", "2008Z",
+                                      "2008+05:00", "2008-05:00"])
+    def test_valid(self, gyear, text):
+        assert gyear.value_of_text(text) is not None, text
+
+    @pytest.mark.parametrize("text", ["208", "20081", "2008-", "year", ""])
+    def test_invalid(self, gyear, text):
+        assert gyear.value_of_text(text) is None, text
+
+    def test_ordering(self, gyear):
+        assert gyear.value_of_text("1999") < gyear.value_of_text("2008")
+
+    def test_combination(self, gyear):
+        combined = gyear.combine(
+            gyear.fragment_of_text("20"), gyear.fragment_of_text("08")
+        )
+        assert gyear.cast(combined) == 2008
+
+
+class TestGYearMonth:
+    def test_value_and_order(self):
+        plugin = get_plugin("gYearMonth")
+        assert plugin.value_of_text("2008-01") < plugin.value_of_text("2008-02")
+        assert plugin.value_of_text("2007-12") < plugin.value_of_text("2008-01")
+
+    def test_month_range_checked(self):
+        plugin = get_plugin("gYearMonth")
+        assert plugin.value_of_text("2008-13") is None
+        assert plugin.value_of_text("2008-00") is None
+
+
+class TestGMonthDay:
+    def test_syntax(self):
+        plugin = get_plugin("gMonthDay")
+        assert plugin.value_of_text("--12-25") == 1225
+        assert plugin.value_of_text("-12-25") is None
+        assert plugin.value_of_text("--12-25Z") == 1225
+
+    def test_ranges(self):
+        plugin = get_plugin("gMonthDay")
+        assert plugin.value_of_text("--13-01") is None
+        assert plugin.value_of_text("--12-32") is None
+
+    def test_ordering_by_calendar(self):
+        plugin = get_plugin("gMonthDay")
+        assert plugin.value_of_text("--03-01") < plugin.value_of_text("--12-25")
+
+
+class TestGMonthAndGDay:
+    def test_gmonth(self):
+        plugin = get_plugin("gMonth")
+        assert plugin.value_of_text("--05") == 5
+        assert plugin.value_of_text("--13") is None
+        assert plugin.value_of_text("05") is None
+
+    def test_gday(self):
+        plugin = get_plugin("gDay")
+        assert plugin.value_of_text("---09") == 9
+        assert plugin.value_of_text("---32") is None
+        assert plugin.value_of_text("--09") is None
+
+
+@given(
+    st.sampled_from(["gYear", "gYearMonth", "gMonth", "gDay", "gMonthDay"]),
+    st.text(alphabet="0123456789-Z+: ", max_size=14),
+    st.text(alphabet="0123456789-Z+: ", max_size=14),
+)
+@settings(max_examples=150, deadline=None)
+def test_sct_matches_concatenation(type_name, a, b):
+    plugin = get_plugin(type_name)
+    combined = plugin.combine(
+        plugin.fragment_of_text(a), plugin.fragment_of_text(b)
+    )
+    direct = plugin.fragment_of_text(a + b)
+    assert combined.state == direct.state
+    assert plugin.cast(combined) == plugin.cast(direct)
+
+
+def test_gregorian_typed_index():
+    from repro.core import IndexManager
+
+    manager = IndexManager(string=False, typed=("gYear",))
+    manager.load(
+        "pubs",
+        "<pubs><p><year>1999</year></p><p><year>2008</year></p>"
+        "<p><year>words</year></p></pubs>",
+    )
+    hits = list(manager.lookup_typed_range("gYear", 2000, 2010))
+    # the text node, its <year> element and the wrapping <p>
+    assert len(hits) == 3

@@ -1,0 +1,169 @@
+"""Tests for the DFA framework (repro.core.fsm.machine)."""
+
+import pytest
+
+from repro.core.fsm.machine import DEAD, DfaSpec
+
+# A toy machine: 'a'+ optionally followed by 'b'+.
+TOY = DfaSpec(
+    name="toy",
+    states=["start", "a", "b"],
+    initial="start",
+    finals={"a", "b"},
+    classes={"a": "a", "b": "b"},
+    transitions={
+        ("start", "a"): "a",
+        ("a", "a"): "a",
+        ("a", "b"): "b",
+        ("b", "b"): "b",
+    },
+)
+
+
+class TestCompile:
+    def test_dead_state_is_zero(self):
+        dfa = TOY.compile()
+        assert dfa.table[DEAD] == (DEAD, DEAD)
+
+    def test_state_and_class_counts(self):
+        dfa = TOY.compile()
+        assert dfa.n_states == 4  # 3 named + dead
+        assert dfa.n_classes == 2
+
+    def test_rejects_unknown_initial(self):
+        with pytest.raises(ValueError, match="initial"):
+            DfaSpec("x", ["s"], "nope", set(), {}, {}).compile()
+
+    def test_rejects_unknown_final(self):
+        with pytest.raises(ValueError, match="final"):
+            DfaSpec("x", ["s"], "s", {"nope"}, {}, {}).compile()
+
+    def test_rejects_overlapping_classes(self):
+        with pytest.raises(ValueError, match="classes"):
+            DfaSpec(
+                "x", ["s"], "s", set(), {"one": "ab", "two": "bc"}, {}
+            ).compile()
+
+    def test_rejects_transition_from_unknown_state(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            DfaSpec(
+                "x", ["s"], "s", set(), {"a": "a"}, {("ghost", "a"): "s"}
+            ).compile()
+
+    def test_rejects_transition_on_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown class"):
+            DfaSpec(
+                "x", ["s"], "s", set(), {"a": "a"}, {("s", "ghost"): "s"}
+            ).compile()
+
+
+class TestRun:
+    @pytest.fixture()
+    def dfa(self):
+        return TOY.compile()
+
+    def test_accepts(self, dfa):
+        assert dfa.accepts("a")
+        assert dfa.accepts("aaab")
+        assert not dfa.accepts("")
+        assert not dfa.accepts("b")
+        assert not dfa.accepts("aba")
+        assert not dfa.accepts("ax")
+
+    def test_illegal_char_goes_dead(self, dfa):
+        assert dfa.step(dfa.initial, "z") == DEAD
+        assert dfa.run("az") == DEAD
+
+    def test_classify(self, dfa):
+        assert dfa.classify("a") is not None
+        assert dfa.classify("z") is None
+
+    def test_run_from_explicit_state(self, dfa):
+        mid = dfa.run("aa")
+        assert dfa.run("b", state=mid) in dfa.finals
+
+    def test_reachable_states(self, dfa):
+        names = {dfa.state_names[s] for s in dfa.reachable_states()}
+        assert names == {"start", "a", "b"}
+
+    def test_coreachable_states(self, dfa):
+        names = {dfa.state_names[s] for s in dfa.coreachable_states()}
+        assert names == {"start", "a", "b"}
+
+    def test_unreachable_state_detected(self):
+        spec = DfaSpec(
+            name="orphan",
+            states=["start", "island"],
+            initial="start",
+            finals={"start"},
+            classes={"a": "a"},
+            transitions={("island", "a"): "island"},
+        )
+        dfa = spec.compile()
+        island = dfa.state_names.index("island")
+        assert island not in dfa.reachable_states()
+        assert island not in dfa.coreachable_states()
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # Two states with identical futures collapse.
+        spec = DfaSpec(
+            name="dup",
+            states=["start", "a1", "a2", "end"],
+            initial="start",
+            finals={"end"},
+            classes={"a": "a", "b": "b"},
+            transitions={
+                ("start", "a"): "a1",
+                ("start", "b"): "a2",
+                ("a1", "a"): "end",
+                ("a2", "a"): "end",
+                ("end", "a"): "end",
+            },
+        )
+        dfa = spec.compile()
+        mini = dfa.minimize()
+        assert mini.n_states < dfa.n_states
+        for text in ("aa", "ba", "aaa", "b", "", "ab"):
+            assert dfa.accepts(text) == mini.accepts(text), text
+
+    def test_drops_unreachable_states(self):
+        spec = DfaSpec(
+            name="orphan",
+            states=["start", "island"],
+            initial="start",
+            finals={"start"},
+            classes={"a": "a"},
+            transitions={("island", "a"): "island"},
+        )
+        mini = spec.compile().minimize()
+        assert mini.n_states == 2  # dead + start
+
+    def test_dead_stays_state_zero(self):
+        mini = TOY.compile().minimize()
+        assert mini.table[DEAD] == tuple([DEAD] * mini.n_classes)
+        assert DEAD not in mini.finals
+
+    def test_idempotent(self):
+        mini = TOY.compile().minimize()
+        again = mini.minimize()
+        assert again.n_states == mini.n_states
+
+    def test_builtin_machines_shrink_or_hold(self):
+        from repro.core.fsm.double import DOUBLE_SPEC
+        from repro.core.fsm.temporal import DATETIME_SPEC
+
+        for spec in (DOUBLE_SPEC, DATETIME_SPEC):
+            dfa = spec.compile()
+            assert dfa.minimize().n_states <= dfa.n_states
+
+    def test_language_preserved_exhaustively(self):
+        import itertools
+
+        dfa = TOY.compile()
+        mini = dfa.minimize()
+        for length in range(0, 6):
+            for word in itertools.product("ab", repeat=length):
+                text = "".join(word)
+                assert dfa.accepts(text) == mini.accepts(text), text

@@ -1,0 +1,144 @@
+"""Tests for the transition monoid / SCT construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import get_plugin
+from repro.core.fsm.double import DOUBLE_SPEC
+from repro.core.fsm.monoid import REJECT, TransitionMonoid
+
+
+@pytest.fixture(scope="module")
+def monoid():
+    return TransitionMonoid(DOUBLE_SPEC.compile())
+
+
+DOUBLE_ALPHABET = "0123456789+-.eE \t"
+double_texts = st.text(alphabet=DOUBLE_ALPHABET, max_size=30)
+
+
+class TestConstruction:
+    def test_reject_is_element_zero(self, monoid):
+        assert monoid.elements[REJECT] == tuple([0] * monoid.dfa.n_states)
+
+    def test_identity_fixes_everything(self, monoid):
+        assert monoid.elements[monoid.identity] == tuple(
+            range(monoid.dfa.n_states)
+        )
+
+    def test_size_is_one_byte(self, monoid):
+        """The paper stores a double state in one byte (60 states there;
+        our minimal monoid is smaller because the paper's hand count
+        includes presentation copies)."""
+        assert 2 < len(monoid) <= 255
+
+    def test_reject_is_absorbing(self, monoid):
+        for element in range(len(monoid)):
+            assert monoid.combine(REJECT, element) == REJECT
+            assert monoid.combine(element, REJECT) == REJECT
+
+    def test_identity_is_neutral(self, monoid):
+        for element in range(len(monoid)):
+            assert monoid.combine(monoid.identity, element) == element
+            assert monoid.combine(element, monoid.identity) == element
+
+    def test_table_closed(self, monoid):
+        size = len(monoid)
+        for row in monoid.table:
+            assert all(0 <= e < size for e in row)
+
+    def test_max_elements_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            TransitionMonoid(DOUBLE_SPEC.compile(), max_elements=5)
+
+
+class TestSemantics:
+    def test_castable_matches_dfa_acceptance(self, monoid):
+        dfa = monoid.dfa
+        for text in ("42", " 42 ", "4.2", ".5", "12.", "+4.2E1", "1e3"):
+            assert monoid.castable[monoid.state_of_text(text)], text
+            assert dfa.accepts(text), text
+        for text in ("", " ", "+", "E", "4.2.", "42x"):
+            state = monoid.state_of_text(text)
+            assert not monoid.castable[state], text
+
+    def test_useful_vs_useless(self, monoid):
+        # "." can be completed ("4.2"); "42 x" never can.
+        assert monoid.useful[monoid.state_of_text(".")]
+        assert monoid.useful[monoid.state_of_text("E+")]
+        assert monoid.state_of_text("42 x") == REJECT
+        # "42 " followed by "5": whitespace between digits kills it —
+        # the combination is non-rejected text-wise but useless.
+        state = monoid.combine(
+            monoid.state_of_text("42 "), monoid.state_of_text("5")
+        )
+        assert state == REJECT or not monoid.useful[state]
+
+    def test_paper_fragment_states(self, monoid):
+        """Paper Section 4 examples: "E+93 " and " +32.3" are potential
+        valid; "42 text" rejects; "78" and "." combine with "230"."""
+        assert monoid.state_of_text("E+93 ") != REJECT
+        assert monoid.state_of_text(" +32.3") != REJECT
+        assert monoid.state_of_text("42 text") == REJECT
+        combined = monoid.combine_all(
+            [monoid.state_of_text("78"), monoid.state_of_text("."),
+             monoid.state_of_text("230")]
+        )
+        assert monoid.castable[combined]
+
+    @given(double_texts, double_texts)
+    @settings(max_examples=300)
+    def test_sct_is_concatenation(self, monoid, a, b):
+        """state(a+b) == SCT[state(a)][state(b)] for arbitrary fragments."""
+        assert monoid.state_of_text(a + b) == monoid.combine(
+            monoid.state_of_text(a), monoid.state_of_text(b)
+        )
+
+    @given(double_texts, double_texts, double_texts)
+    @settings(max_examples=200)
+    def test_sct_is_associative(self, monoid, a, b, c):
+        sa, sb, sc = (monoid.state_of_text(t) for t in (a, b, c))
+        assert monoid.combine(monoid.combine(sa, sb), sc) == monoid.combine(
+            sa, monoid.combine(sb, sc)
+        )
+
+    @given(double_texts)
+    def test_castable_iff_dfa_accepts(self, monoid, text):
+        assert monoid.castable[monoid.state_of_text(text)] == (
+            monoid.dfa.accepts(text)
+        )
+
+
+class TestClassRuns:
+    def test_run_matches_repeated_generator(self, monoid):
+        digit = monoid.dfa.class_names.index("digit")
+        for length in (1, 2, 3, 7, 50, 1000):
+            assert monoid.class_run(digit, length) == monoid.state_of_text(
+                "5" * length
+            )
+
+    def test_zero_length_run_is_identity(self, monoid):
+        assert monoid.class_run(0, 0) == monoid.identity
+
+    def test_ws_generator_is_idempotent(self, monoid):
+        ws = monoid.dfa.class_names.index("ws")
+        gen = monoid.generator(ws)
+        assert monoid.is_idempotent(gen)
+
+    def test_cache_consistency_after_long_run(self, monoid):
+        digit = monoid.dfa.class_names.index("digit")
+        long = monoid.class_run(digit, 10_000)
+        short = monoid.class_run(digit, 3)
+        assert long == monoid.state_of_text("1" * 3) == short
+
+
+class TestAllBuiltinTypes:
+    @pytest.mark.parametrize(
+        "name", ["double", "integer", "decimal", "boolean", "date", "time"]
+    )
+    def test_monoid_fits_a_byte(self, name):
+        assert len(get_plugin(name).monoid) <= 255
+
+    def test_datetime_monoid_is_bounded(self):
+        assert len(get_plugin("dateTime").monoid) <= 4096

@@ -1,0 +1,159 @@
+"""Tests for regex-compiled type plugins (fsm.pattern)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import register_type
+from repro.core.fsm.pattern import (
+    ALPHABET,
+    PatternError,
+    compile_pattern,
+    pattern_plugin,
+)
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "pattern,good,bad",
+        [
+            ("abc", ["abc"], ["ab", "abcd", ""]),
+            ("a*", ["", "a", "aaaa"], ["b", "ab"]),
+            ("a+b?", ["a", "ab", "aab"], ["", "b", "abb"]),
+            ("a|bc", ["a", "bc"], ["b", "abc", ""]),
+            ("(ab)+", ["ab", "abab"], ["a", "aba"]),
+            ("[a-c]x", ["ax", "bx", "cx"], ["dx", "x"]),
+            ("[^a]", ["b", "z", "1"], ["a", "bb"]),
+            (r"\d\d", ["42"], ["4", "4x"]),
+            (r"\w+@\w+", ["a_1@bx"], ["@b", "a@"]),
+            (r"a\.b", ["a.b"], ["axb"]),
+            (".", ["a", "%", " "], ["", "ab"]),
+        ],
+    )
+    def test_acceptance(self, pattern, good, bad):
+        dfa = compile_pattern("t", pattern)
+        for text in good:
+            assert dfa.accepts(text), (pattern, text)
+        for text in bad:
+            assert not dfa.accepts(text), (pattern, text)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "a)", "[abc", "*a", "a\\", r"\D", "a**b|("],
+    )
+    def test_malformed_patterns(self, pattern):
+        with pytest.raises(PatternError):
+            compile_pattern("t", pattern)
+
+    def test_double_star_is_tolerated_like_re(self):
+        # a** is an error in re but harmless stacked repetition here;
+        # accept either behaviour but never crash.
+        try:
+            dfa = compile_pattern("t", "a**")
+        except PatternError:
+            return
+        assert dfa.accepts("aaa")
+
+
+# Random simple patterns checked against re.fullmatch.
+_simple_patterns = st.sampled_from(
+    [
+        "a*b", "(a|b)*", "ab+c?", "[0-9]+", "x[a-c]*y", "(ab|cd)+",
+        r"\d*\.\d+", "a?b?c?", "[^x]y", "z|",
+    ]
+)
+_probe_texts = st.text(alphabet="abcdxyz0123456789.", max_size=8)
+
+
+@given(_simple_patterns, _probe_texts)
+@settings(max_examples=400, deadline=None)
+def test_matches_re_fullmatch(pattern, text):
+    dfa = compile_pattern("t", pattern)
+    assert dfa.accepts(text) == bool(re.fullmatch(pattern, text)), (
+        pattern,
+        text,
+    )
+
+
+class TestPluginBehaviour:
+    @pytest.fixture(scope="class")
+    def isbn(self):
+        return pattern_plugin("isbn", r"97[89]-\d-\d\d\d\d\d-\d\d\d-\d")
+
+    def test_value_is_exact_text(self, isbn):
+        assert isbn.value_of_text("978-0-34539-180-3") == "978-0-34539-180-3"
+        assert isbn.value_of_text("junk") is None
+
+    def test_fragment_combination(self, isbn):
+        left = isbn.fragment_of_text("978-0-34")
+        right = isbn.fragment_of_text("539-180-3")
+        assert isbn.cast(isbn.combine(left, right)) == "978-0-34539-180-3"
+
+    def test_useless_fragments_reject(self, isbn):
+        assert isbn.fragment_of_text("978x").is_rejected
+
+    def test_leading_zero_digits_survive(self):
+        plugin = pattern_plugin("code", r"\d\d\d\d")
+        assert plugin.value_of_text("0042") == "0042"
+
+    def test_custom_cast(self):
+        plugin = pattern_plugin(
+            "euros",
+            r"\d+ EUR",
+            cast=lambda p, tokens: int(p.render(tokens).split()[0]),
+        )
+        assert plugin.value_of_text("42 EUR") == 42
+        assert plugin.value_of_text("42 USD") is None
+
+    @given(st.text(alphabet="0123456789-", max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_sct_matches_concatenation(self, isbn, text):
+        middle = len(text) // 2
+        combined = isbn.combine(
+            isbn.fragment_of_text(text[:middle]),
+            isbn.fragment_of_text(text[middle:]),
+        )
+        direct = isbn.fragment_of_text(text)
+        assert combined.state == direct.state
+        assert isbn.cast(combined) == isbn.cast(direct)
+
+
+class TestIndexIntegration:
+    def test_registered_pattern_type_indexes(self):
+        from repro.core import IndexManager
+
+        register_type(
+            "sku", lambda: pattern_plugin("sku", r"[A-Z][A-Z]-\d\d\d\d")
+        )
+        manager = IndexManager(string=False, typed=("sku",))
+        manager.load(
+            "inventory",
+            "<inv>"
+            "<item><code>AB-1234</code></item>"
+            "<item><code>ZZ-0001</code></item>"
+            "<item><code>not a sku</code></item>"
+            "</inv>",
+        )
+        hits = list(manager.lookup_typed_equal("sku", "AB-1234"))
+        assert len(hits) == 3  # text, <code>, <item>
+        ranged = list(manager.lookup_typed_range("sku", "AA-0000", "AZ-9999"))
+        assert all(value.startswith("A") for value, _nid in ranged)
+
+    def test_updates_maintained(self):
+        from repro.core import IndexManager
+
+        register_type(
+            "sku2", lambda: pattern_plugin("sku2", r"[A-Z][A-Z]-\d\d\d\d")
+        )
+        manager = IndexManager(string=False, typed=("sku2",))
+        manager.load("inv", "<inv><code>AB-1234</code></inv>")
+        doc = manager.store.document("inv")
+        text = next(
+            doc.nid[p] for p in range(len(doc)) if doc.kind[p] == 2
+        )
+        manager.update_text(text, "CD-5678")
+        assert list(manager.lookup_typed_equal("sku2", "CD-5678"))
+        assert not list(manager.lookup_typed_equal("sku2", "AB-1234"))
+        manager.check_consistency()

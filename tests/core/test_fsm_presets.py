@@ -1,0 +1,122 @@
+"""Tests for bounded repetition and the preset string types."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import get_plugin
+from repro.core.fsm.pattern import PatternError, compile_pattern
+from repro.core.fsm.presets import PRESET_PATTERNS, register_presets
+
+register_presets()
+
+
+class TestBoundedRepetition:
+    @pytest.mark.parametrize(
+        "pattern,good,bad",
+        [
+            ("a{3}", ["aaa"], ["aa", "aaaa"]),
+            ("a{2,4}", ["aa", "aaa", "aaaa"], ["a", "aaaaa"]),
+            ("a{2,}", ["aa", "aaaaaa"], ["a", ""]),
+            ("(ab){2}", ["abab"], ["ab", "ababab"]),
+            ("[0-9]{4}-[0-9]{2}", ["2008-12"], ["208-12", "2008-123"]),
+        ],
+    )
+    def test_acceptance(self, pattern, good, bad):
+        dfa = compile_pattern("t", pattern)
+        for text in good:
+            assert dfa.accepts(text), (pattern, text)
+        for text in bad:
+            assert not dfa.accepts(text), (pattern, text)
+
+    @pytest.mark.parametrize("pattern", ["a{", "a{x}", "a{3,2}"])
+    def test_malformed(self, pattern):
+        with pytest.raises(PatternError):
+            compile_pattern("t", pattern)
+
+    @given(st.text(alphabet="ab", max_size=10))
+    @settings(max_examples=150)
+    def test_matches_re(self, text):
+        pattern = "a{1,3}b{2}"
+        dfa = compile_pattern("t", pattern)
+        assert dfa.accepts(text) == bool(re.fullmatch(pattern, text))
+
+
+class TestLanguage:
+    @pytest.fixture(scope="class")
+    def language(self):
+        return get_plugin("language")
+
+    @pytest.mark.parametrize("text", ["en", "en-US", "x-klingon", " de "])
+    def test_valid(self, language, text):
+        assert language.value_of_text(text) == text.strip()
+
+    @pytest.mark.parametrize("text", ["", "toolonglang1", "en--US", "42"])
+    def test_invalid(self, language, text):
+        assert language.value_of_text(text) is None
+
+    def test_mixed_content_combination(self, language):
+        combined = language.combine(
+            language.fragment_of_text("en-"),
+            language.fragment_of_text("US"),
+        )
+        assert language.cast(combined) == "en-US"
+
+
+class TestHexBinary:
+    def test_case_insensitive_value(self):
+        hexbin = get_plugin("hexBinary")
+        assert hexbin.value_of_text("0aff") == hexbin.value_of_text("0AFF")
+
+    def test_odd_length_rejected(self):
+        hexbin = get_plugin("hexBinary")
+        assert hexbin.value_of_text("0af") is None
+
+    def test_empty_is_valid(self):
+        hexbin = get_plugin("hexBinary")
+        assert hexbin.value_of_text("") == ""
+
+
+class TestNameTypes:
+    def test_name_rules(self):
+        name = get_plugin("Name")
+        assert name.value_of_text("xs:element") == "xs:element"
+        assert name.value_of_text("_private") == "_private"
+        assert name.value_of_text("1bad") is None
+
+    def test_nmtoken_allows_leading_digit(self):
+        nmtoken = get_plugin("NMTOKEN")
+        assert nmtoken.value_of_text("1999-edition") == "1999-edition"
+        assert nmtoken.value_of_text("has space") is None
+
+
+def test_presets_index_and_update():
+    from repro.core import IndexManager
+
+    manager = IndexManager(string=False, typed=("language",))
+    manager.load(
+        "texts",
+        '<texts><t lang="en-US">hello</t><t lang="de">hallo</t></texts>',
+    )
+    hits = list(manager.lookup_typed_equal("language", "de"))
+    assert len(hits) >= 1
+    doc = manager.store.document("texts")
+    attr = next(
+        doc.nid[p]
+        for p in range(len(doc))
+        if doc.kind[p] == 3 and doc.text_of(p) == "de"
+    )
+    manager.update_text(attr, "fr-CA")
+    assert list(manager.lookup_typed_equal("language", "fr-CA"))
+    manager.check_consistency()
+
+
+def test_all_presets_compile_and_fullmatch_re():
+    for name, pattern in PRESET_PATTERNS.items():
+        plugin = get_plugin(name)
+        assert plugin.dfa.n_states > 1, name
+        for probe in ("en-US", "0AFF", "x:y", "1999", "??"):
+            expected = bool(re.fullmatch(pattern, probe))
+            assert plugin.dfa.accepts(probe) == expected, (name, probe)

@@ -1,0 +1,95 @@
+"""Tests for the hash diagnostics module."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hash_analysis import (
+    avalanche_matrix,
+    bit_balance,
+    collision_classes,
+    periodicity_defect,
+)
+from repro.core.hashing import hash_string
+
+
+class TestAvalanche:
+    def test_linear_hash_has_deterministic_avalanche(self):
+        matrix = avalanche_matrix(4)
+        assert all(cell in (0.0, 1.0) for row in matrix for cell in row)
+
+    def test_every_input_bit_reaches_some_output_bit(self):
+        matrix = avalanche_matrix(6)
+        for row in matrix:
+            assert any(row), "an input bit vanished entirely"
+
+    def test_shape(self):
+        matrix = avalanche_matrix(3)
+        assert len(matrix) == 3 * 7
+        assert all(len(row) == 32 for row in matrix)
+
+    def test_27_period_bits_hit_same_outputs(self):
+        """Positions i and i+27 map to identical output bit sets —
+        the structural root of the paper's URL pathology."""
+        matrix = avalanche_matrix(28)
+        for bit in range(7):
+            assert matrix[0 * 7 + bit] == matrix[27 * 7 + bit]
+
+
+class TestBitBalance:
+    def test_empty_corpus(self):
+        assert bit_balance([]) == [0.0] * 32
+
+    def test_fractions_in_range(self):
+        corpus = [f"value {i}" for i in range(100)]
+        balance = bit_balance(corpus)
+        assert all(0.0 <= b <= 1.0 for b in balance)
+        # The c-array bits (5..31) should be reasonably balanced over a
+        # varied corpus.
+        c_bits = balance[5:]
+        assert sum(c_bits) / len(c_bits) > 0.2
+
+    def test_offc_bits_encode_length(self):
+        # All strings of one length share the offc field.
+        corpus = [f"{i:04d}" for i in range(50)]
+        balance = bit_balance(corpus)
+        expected_offset = (5 * 4) % 27
+        for bit in range(5):
+            expected = float((expected_offset >> bit) & 1)
+            assert balance[bit] == expected
+
+
+class TestCollisionClasses:
+    def test_no_collisions_in_tiny_corpus(self):
+        assert collision_classes(["a", "b", "c"]) == {}
+
+    def test_engineered_collision_found(self):
+        a = "x" + "q" * 26 + "y"
+        b = "y" + "q" * 26 + "x"
+        classes = collision_classes([a, b, "unrelated"])
+        assert list(classes.values()) == [sorted([a, b])]
+
+    def test_duplicates_not_counted(self):
+        assert collision_classes(["same", "same"]) == {}
+
+
+class TestPeriodicityDefect:
+    def test_short_strings_have_no_defect(self):
+        assert periodicity_defect("short") is None
+
+    def test_uniform_strings_have_no_defect(self):
+        assert periodicity_defect("a" * 60) is None
+
+    def test_constructed_partner_collides(self):
+        value = "http://www.example.org/wiki/Some_Long_Article_Title_Here"
+        partner = periodicity_defect(value)
+        assert partner is not None
+        assert partner != value
+        assert hash_string(partner) == hash_string(value)
+
+    @given(st.text(alphabet="abc", min_size=28, max_size=80))
+    @settings(max_examples=100)
+    def test_defect_always_collides_when_found(self, value):
+        partner = periodicity_defect(value)
+        if partner is not None:
+            assert partner != value
+            assert hash_string(partner) == hash_string(value)

@@ -1,0 +1,180 @@
+"""Unit and property tests for the hash function H and combiner C."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    EMPTY_HASH,
+    HashAccumulator,
+    c_array_of,
+    combine,
+    combine_all,
+    hash_string,
+    mask5,
+    mask27,
+    offset_of,
+)
+
+
+def reference_hash(value: str) -> int:
+    """Literal transcription of paper Figure 2 (32-bit C semantics)."""
+    hval = 0
+    offset = 0
+    for byte in value.encode("utf-8"):
+        c = byte & 127
+        hval = (hval ^ (c << offset)) & 0xFFFFFFFF
+        if offset > 20:
+            hval ^= c >> (27 - offset)
+        offset += 5
+        if offset > 26:
+            offset -= 27
+    hval = ((hval << 5) & 0xFFFFFFFF) | offset
+    return hval
+
+
+class TestHashBasics:
+    def test_empty_string_hashes_to_zero(self):
+        assert hash_string("") == EMPTY_HASH == 0
+
+    def test_is_32_bit(self):
+        for text in ("a", "Arthur", "x" * 1000, "é€"):
+            assert 0 <= hash_string(text) <= 0xFFFFFFFF
+
+    def test_offset_encodes_length_times_5_mod_27(self):
+        for n in range(0, 60):
+            assert offset_of(hash_string("a" * n)) == (5 * n) % 27
+
+    def test_single_character(self):
+        # One char: c-array = 7 low bits of the char, offset = 5.
+        hval = hash_string("A")
+        assert c_array_of(hval) == ord("A")
+        assert offset_of(hval) == 5
+
+    def test_paper_figure3_example(self):
+        """Figure 3: H("Arthur") — c-array bits and offc value 3."""
+        hval = hash_string("Arthur")
+        assert offset_of(hval) == 3  # offc bits 00011 per the figure
+        # Recompute the c-array the way Figure 3 lays it out.
+        expected = 0
+        offset = 0
+        for ch in "Arthur":
+            c = ord(ch) & 127
+            expected ^= (c << offset) & ((1 << 27) - 1)
+            if offset > 20:
+                expected ^= c >> (27 - offset)
+            offset = (offset + 5) % 27
+        assert c_array_of(hval) == expected
+
+    def test_accepts_bytes(self):
+        assert hash_string(b"Arthur") == hash_string("Arthur")
+
+    def test_distinct_strings_usually_distinct(self):
+        values = {hash_string(w) for w in ("Arthur", "Dent", "Prefect", "42", "4.2")}
+        assert len(values) == 5
+
+    def test_mask_helpers_partition_the_word(self):
+        hval = hash_string("Arthur Dent")
+        assert mask5(hval) | mask27(hval) == hval
+        assert mask5(hval) & mask27(hval) == 0
+
+
+class TestKnownCollisions:
+    def test_same_char_27_apart_cancels(self):
+        """Characters repeated 27 positions apart XOR at the same c-array
+        offset, so swapping them collides — the paper's Wiki URL
+        pathology (Section 6)."""
+        base = "http://www."
+        middle = "x" * 26
+        a = base + "a" + middle + "b" + "/rest"
+        b = base + "b" + middle + "a" + "/rest"
+        assert a != b
+        assert hash_string(a) == hash_string(b)
+
+    def test_transposition_not_27_apart_does_not_cancel(self):
+        a = "http://www." + "a" + "x" * 25 + "b"
+        b = "http://www." + "b" + "x" * 25 + "a"
+        assert hash_string(a) != hash_string(b)
+
+
+class TestCombine:
+    def test_matches_paper_example_name(self):
+        left = hash_string("Arthur")
+        right = hash_string("Dent")
+        assert combine(left, right) == hash_string("ArthurDent")
+
+    def test_empty_hash_is_identity(self):
+        for text in ("", "a", "Arthur", "x" * 100):
+            hval = hash_string(text)
+            assert combine(EMPTY_HASH, hval) == hval
+            assert combine(hval, EMPTY_HASH) == hval
+
+    def test_combine_all_person_subtree(self):
+        """The paper's person document: h<person> from child hashes."""
+        parts = ["Arthur", "Dent", "1966-09-26", "42", "78.230"]
+        combined = combine_all(hash_string(p) for p in parts)
+        assert combined == hash_string("".join(parts))
+
+    def test_combine_all_empty_is_empty_hash(self):
+        assert combine_all([]) == EMPTY_HASH
+
+
+class TestHashAccumulator:
+    def test_chunked_equals_whole(self):
+        acc = HashAccumulator()
+        for chunk in ("Arth", "ur", " ", "Dent"):
+            acc.update(chunk)
+        assert acc.digest() == hash_string("Arthur Dent")
+
+    def test_reset(self):
+        acc = HashAccumulator()
+        acc.update("junk")
+        acc.reset()
+        assert acc.digest() == EMPTY_HASH
+
+    def test_update_hash(self):
+        acc = HashAccumulator()
+        acc.update_hash(hash_string("Arthur"))
+        acc.update_hash(hash_string("Dent"))
+        assert acc.digest() == hash_string("ArthurDent")
+
+
+# Text strategy that covers ASCII, multi-byte UTF-8 and long strings.
+_texts = st.text(max_size=80) | st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=127), max_size=200
+)
+
+
+class TestHashProperties:
+    @given(_texts)
+    def test_matches_reference_transcription(self, text):
+        assert hash_string(text) == reference_hash(text)
+
+    @given(_texts, _texts)
+    @settings(max_examples=300)
+    def test_concat_homomorphism(self, a, b):
+        """The defining property: H(a+b) == C(H(a), H(b))."""
+        assert hash_string(a + b) == combine(hash_string(a), hash_string(b))
+
+    @given(_texts, _texts, _texts)
+    def test_combine_is_associative(self, a, b, c):
+        ha, hb, hc = hash_string(a), hash_string(b), hash_string(c)
+        assert combine(combine(ha, hb), hc) == combine(ha, combine(hb, hc))
+
+    @given(st.lists(_texts, max_size=8))
+    def test_combine_all_equals_hash_of_concat(self, parts):
+        assert combine_all(hash_string(p) for p in parts) == hash_string(
+            "".join(parts)
+        )
+
+    @given(_texts)
+    def test_stored_form_is_32_bit(self, text):
+        assert 0 <= hash_string(text) <= 0xFFFFFFFF
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", "a", "Arthur", "x" * 26, "x" * 27, "x" * 28, "é" * 30, "x" * 997],
+)
+def test_boundary_lengths_match_reference(text):
+    assert hash_string(text) == reference_hash(text)

@@ -1,0 +1,121 @@
+"""Stateful model testing of the IndexManager (hypothesis rules).
+
+Hypothesis drives arbitrary interleavings of every update primitive
+against one manager; after each step the structural invariants hold,
+and at teardown the indices must equal a from-scratch rebuild — the
+strongest form of the paper's maintenance claim.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import IndexManager
+from repro.xmldb import ATTR, ELEM, TEXT
+
+_VALUES = ["", "x", "42", "4.2", " 7 ", "E+", "towel", "0.001"]
+
+
+class ManagerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.manager = IndexManager(typed=("double",), substring=True)
+        self.doc = self.manager.load(
+            "doc",
+            '<root a="1"><item>42</item><item>words</item>'
+            "<mixed>4<inner/>2</mixed></root>",
+        )
+        self.counter = 0
+
+    def _texts(self):
+        doc = self.doc
+        return [doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT]
+
+    def _attrs(self):
+        doc = self.doc
+        return [doc.nid[p] for p in range(len(doc)) if doc.kind[p] == ATTR]
+
+    def _extras(self):
+        doc = self.doc
+        return [
+            doc.nid[p]
+            for p in range(len(doc))
+            if doc.kind[p] == ELEM and doc.name_of(p).startswith("x")
+        ]
+
+    @rule(pick=st.integers(0, 10**6), value=st.sampled_from(_VALUES))
+    def update_text(self, pick, value):
+        texts = self._texts()
+        if texts:
+            self.manager.update_text(texts[pick % len(texts)], value)
+
+    @rule(pick=st.integers(0, 10**6), value=st.sampled_from(_VALUES))
+    def update_attribute(self, pick, value):
+        attrs = self._attrs()
+        if attrs:
+            self.manager.update_text(attrs[pick % len(attrs)], value)
+
+    @rule(value=st.sampled_from(_VALUES))
+    def insert_fragment(self, value):
+        self.counter += 1
+        root = self.doc.nid[self.doc.root_element()]
+        self.manager.insert_xml(
+            root, f"<x{self.counter}>{value}</x{self.counter}>"
+        )
+
+    @rule(pick=st.integers(0, 10**6))
+    def delete_extra(self, pick):
+        extras = self._extras()
+        if extras:
+            self.manager.delete_subtree(extras[pick % len(extras)])
+
+    @rule(value=st.sampled_from(_VALUES))
+    def add_attribute(self, value):
+        self.counter += 1
+        root = self.doc.nid[self.doc.root_element()]
+        self.manager.insert_attribute(root, f"k{self.counter}", value)
+
+    @rule(pick=st.integers(0, 10**6))
+    def remove_attribute(self, pick):
+        attrs = self._attrs()
+        if attrs:
+            self.manager.delete_attribute(attrs[pick % len(attrs)])
+
+    @rule(pick=st.integers(0, 10**6))
+    def rename_extra(self, pick):
+        extras = self._extras()
+        if extras:
+            self.counter += 1
+            self.manager.rename(
+                extras[pick % len(extras)], f"x{self.counter}r"
+            )
+
+    @rule(value=st.sampled_from(_VALUES))
+    def query_agreement(self, value):
+        from repro.query import query
+
+        if value.strip() and '"' not in value:
+            text = f'//item[. = "{value}"]'
+            assert query(self.manager, text) == query(
+                self.manager, text, use_indexes=False
+            )
+
+    @invariant()
+    def document_invariants(self):
+        if hasattr(self, "doc"):
+            self.doc.check_invariants()
+
+    def teardown(self):
+        if hasattr(self, "manager"):
+            self.manager.check_consistency()
+
+
+ManagerMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestManagerStateful = ManagerMachine.TestCase

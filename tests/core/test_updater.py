@@ -1,0 +1,270 @@
+"""Tests for index maintenance (paper Figure 8) under value and
+structural updates, including the update ≡ rebuild property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexManager
+from repro.xmldb import ELEM, TEXT
+
+PERSON = (
+    "<person>"
+    "<name><first>Arthur</first><family>Dent</family></name>"
+    "<birthday>1966-09-26</birthday>"
+    "<age><decades>4</decades>2<years/></age>"
+    "<weight><kilos>78</kilos>.<grams>230</grams></weight>"
+    "</person>"
+)
+
+
+def fresh_manager(xml=PERSON, typed=("double",)):
+    manager = IndexManager(typed=typed)
+    manager.load("doc", xml)
+    return manager
+
+
+def text_nid(manager, content, doc_name="doc"):
+    doc = manager.store.document(doc_name)
+    for pre in range(len(doc)):
+        if doc.kind[pre] == TEXT and doc.text_of(pre) == content:
+            return doc.nid[pre]
+    raise AssertionError(f"no text node {content!r}")
+
+
+def elem_nid(manager, name, doc_name="doc"):
+    doc = manager.store.document(doc_name)
+    for pre in range(len(doc)):
+        if doc.kind[pre] == ELEM and doc.name_of(pre) == name:
+            return doc.nid[pre]
+    raise AssertionError(f"no element {name!r}")
+
+
+class TestTextUpdates:
+    def test_paper_dent_to_prefect(self):
+        """Section 3's running update example."""
+        manager = fresh_manager()
+        manager.update_text(text_nid(manager, "Dent"), "Prefect")
+        assert list(manager.lookup_string("Dent")) == []
+        hits = list(manager.lookup_string("ArthurPrefect"))
+        assert len(hits) == 1
+        # All ancestors rehashed: the person node's value changed too.
+        assert list(
+            manager.lookup_string("ArthurPrefect1966-09-264278.230")
+        )
+        manager.check_consistency()
+
+    def test_double_index_follows_update(self):
+        manager = fresh_manager()
+        manager.update_text(text_nid(manager, "2"), "3")
+        assert list(manager.lookup_typed_equal("double", 42.0)) == []
+        hits = list(manager.lookup_typed_equal("double", 43.0))
+        assert len(hits) == 1
+        manager.check_consistency()
+
+    def test_update_to_rejected_value(self):
+        manager = fresh_manager()
+        manager.update_text(text_nid(manager, "78"), "not a number")
+        # <kilos>, <weight> are no longer castable (or even potential).
+        assert list(manager.lookup_typed_equal("double", 78.23)) == []
+        index = manager.typed_index("double")
+        assert index.field_of(elem_nid(manager, "weight")).is_rejected
+        manager.check_consistency()
+
+    def test_update_from_rejected_to_valid(self):
+        manager = fresh_manager()
+        manager.update_text(text_nid(manager, "Arthur"), "7")
+        hits = list(manager.lookup_typed_equal("double", 7.0))
+        assert len(hits) == 2  # text + <first>
+        manager.check_consistency()
+
+    def test_attribute_update_no_ancestor_effect(self):
+        manager = IndexManager()
+        manager.load("doc", '<a x="old"><b>keep</b></a>')
+        doc = manager.store.document("doc")
+        attr = next(doc.nid[p] for p in range(len(doc)) if doc.kind[p] == 3)
+        root_hash_before = manager.string_index.hash_of[
+            doc.nid[doc.root_element()]
+        ]
+        count = manager.update_text(attr, "new")
+        assert count == 1  # only the attribute itself
+        assert (
+            manager.string_index.hash_of[doc.nid[doc.root_element()]]
+            == root_hash_before
+        )
+        assert list(manager.lookup_string("new"))
+        manager.check_consistency()
+
+    def test_batch_shares_ancestor_work(self):
+        manager = fresh_manager()
+        first = text_nid(manager, "Arthur")
+        family = text_nid(manager, "Dent")
+        count = manager.update_texts([(first, "Ford"), (family, "Prefect")])
+        # 2 leaves + ancestors {first, family, name, person, doc} = 7;
+        # without sharing it would be 2 * (1 + 4) = 10.
+        assert count == 7
+        assert list(manager.lookup_string("FordPrefect"))
+        manager.check_consistency()
+
+    def test_duplicate_nids_in_batch(self):
+        manager = fresh_manager()
+        nid = text_nid(manager, "Dent")
+        manager.update_texts([(nid, "X"), (nid, "Y")])
+        assert list(manager.lookup_string("Y"))
+        assert not list(manager.lookup_string("X"))
+        manager.check_consistency()
+
+    def test_update_to_same_value(self):
+        manager = fresh_manager()
+        manager.update_text(text_nid(manager, "Dent"), "Dent")
+        assert list(manager.lookup_string("ArthurDent"))
+        manager.check_consistency()
+
+    def test_empty_batch(self):
+        manager = fresh_manager()
+        assert manager.update_texts([]) == 0
+
+
+class TestStructuralUpdates:
+    def test_delete_subtree(self):
+        manager = fresh_manager()
+        manager.delete_subtree(elem_nid(manager, "weight"))
+        assert list(manager.lookup_typed_equal("double", 78.23)) == []
+        assert list(manager.lookup_string("ArthurDent1966-09-2642"))
+        manager.check_consistency()
+
+    def test_delete_text_makes_parent_empty(self):
+        manager = fresh_manager()
+        manager.delete_subtree(text_nid(manager, "Dent"))
+        hits = list(manager.lookup_string("Arthur"))
+        # text node, <first>, and now also <name> ("Arthur" + "")
+        assert len(hits) == 3
+        manager.check_consistency()
+
+    def test_insert_subtree(self):
+        manager = fresh_manager()
+        manager.insert_xml(elem_nid(manager, "name"), "<middle>Philip</middle>")
+        assert list(manager.lookup_string("ArthurDentPhilip"))
+        assert list(manager.lookup_string("Philip"))
+        manager.check_consistency()
+
+    def test_insert_numeric_subtree(self):
+        manager = fresh_manager()
+        manager.insert_xml(elem_nid(manager, "age"), "<months>.5</months>")
+        hits = list(manager.lookup_typed_equal("double", 42.5))
+        assert len(hits) == 1
+        manager.check_consistency()
+
+    def test_paper_deletion_rule(self):
+        """Section 5: after deleting a subtree, the parent recomputes
+        from its remaining children."""
+        manager = fresh_manager()
+        manager.delete_subtree(elem_nid(manager, "decades"))
+        hits = list(manager.lookup_typed_equal("double", 2.0))
+        assert elem_nid(manager, "age") in hits
+        manager.check_consistency()
+
+    def test_insert_then_update_inserted(self):
+        manager = fresh_manager()
+        change = manager.insert_xml(elem_nid(manager, "person"), "<iq>160</iq>")
+        text = next(
+            nid
+            for nid in change.added_nids
+            if manager.store.node(nid)[0].kind[manager.store.node(nid)[1]]
+            == TEXT
+        )
+        manager.update_text(text, "170")
+        assert list(manager.lookup_typed_equal("double", 170.0))
+        assert not list(manager.lookup_typed_equal("double", 160.0))
+        manager.check_consistency()
+
+
+# ---------------------------------------------------------------------------
+# Property: any sequence of random updates leaves the indices identical
+# to a from-scratch rebuild (the paper's core maintenance claim).
+# ---------------------------------------------------------------------------
+
+_texts = st.sampled_from(
+    ["Arthur", "42", "4.2", ".", "E+9", "", "  7 ", "towel", "0.001", "x"]
+)
+
+
+@st.composite
+def random_xml(draw, max_depth=3):
+    def node(depth):
+        if depth >= max_depth or draw(st.booleans()):
+            return draw(_texts)
+        children = draw(st.lists(st.just(None), min_size=0, max_size=3))
+        inner = "".join(node(depth + 1) for _ in children)
+        name = draw(st.sampled_from("abcde"))
+        return f"<{name}>{inner}</{name}>"
+
+    children = draw(st.lists(st.just(None), min_size=1, max_size=4))
+    inner = "".join(node(1) for _ in children)
+    return f"<root>{inner}</root>"
+
+
+@given(random_xml(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_updates_equal_rebuild(xml, data):
+    manager = IndexManager(typed=("double",))
+    manager.load("doc", xml)
+    doc = manager.store.document("doc")
+    updatable = [
+        doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT
+    ]
+    steps = data.draw(st.integers(0, 5))
+    for _ in range(steps):
+        if updatable and data.draw(st.booleans()):
+            nid = data.draw(st.sampled_from(updatable))
+            manager.update_text(nid, data.draw(_texts))
+        else:
+            root_nid = doc.nid[doc.root_element()]
+            fragment = data.draw(_texts)
+            manager.insert_xml(root_nid, f"<n>{fragment}</n>")
+    manager.check_consistency()
+
+
+@given(random_xml(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_deletes_equal_rebuild(xml, data):
+    manager = IndexManager(typed=("double",))
+    manager.load("doc", xml)
+    doc = manager.store.document("doc")
+    for _ in range(data.draw(st.integers(0, 3))):
+        candidates = [
+            doc.nid[p]
+            for p in range(1, len(doc))
+            if doc.kind[p] in (ELEM, TEXT) and p != doc.root_element()
+        ]
+        if not candidates:
+            break
+        manager.delete_subtree(data.draw(st.sampled_from(candidates)))
+    manager.check_consistency()
+
+
+def test_randomized_soak():
+    """Seeded random soak: many mixed updates, then consistency check."""
+    rng = random.Random(42)
+    manager = fresh_manager(typed=("double", "integer"))
+    doc = manager.store.document("doc")
+    values = ["1", "2.5", "Zaphod", "", " 44 ", "-0.5", "towel", "9E2"]
+    for step in range(200):
+        texts = [doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT]
+        action = rng.random()
+        if action < 0.7 and texts:
+            manager.update_text(rng.choice(texts), rng.choice(values))
+        elif action < 0.85:
+            parent = elem_nid(manager, "person")
+            manager.insert_xml(parent, f"<x{step}>{rng.choice(values)}</x{step}>")
+        else:
+            deletable = [
+                doc.nid[p]
+                for p in range(len(doc))
+                if doc.kind[p] == ELEM and doc.name_of(p).startswith("x")
+            ]
+            if deletable:
+                manager.delete_subtree(rng.choice(deletable))
+    manager.check_consistency()

@@ -1,0 +1,149 @@
+"""Tests for the extended axes: parent, ancestor, siblings, node()."""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.query import query
+
+DOC = (
+    "<library>"
+    "<shelf id='s1'><book>A</book><book>B</book><book>C</book></shelf>"
+    "<shelf id='s2'><book>D</book>note<book>E</book></shelf>"
+    "</library>"
+)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = IndexManager(typed=("double",))
+    m.load("lib", DOC)
+    return m
+
+
+def names(manager, nids):
+    """Element names (text nodes show their content, doc '#doc')."""
+    out = []
+    for nid in nids:
+        doc, pre = manager.store.node(nid)
+        kind = doc.kind[pre]
+        if kind == 1:
+            out.append(doc.name_of(pre))
+        elif kind == 2:
+            out.append(doc.text_of(pre))
+        elif kind == 0:
+            out.append("#doc")
+    return out
+
+
+def values(manager, nids):
+    """XDM string values (concatenated text for elements)."""
+    out = []
+    for nid in nids:
+        doc, pre = manager.store.node(nid)
+        if doc.kind[pre] == 0:
+            out.append("#doc")
+        else:
+            out.append(doc.string_value(pre))
+    return out
+
+
+class TestParentAxis:
+    def test_dotdot(self, manager):
+        hits = query(manager, "//book/..")
+        assert names(manager, hits) == ["shelf", "shelf"]
+
+    def test_named_parent_axis(self, manager):
+        hits = query(manager, "//book/parent::shelf")
+        assert names(manager, hits) == ["shelf", "shelf"]
+
+    def test_parent_with_name_mismatch(self, manager):
+        assert query(manager, "//book/parent::library") == []
+
+    def test_dotdot_mid_path(self, manager):
+        hits = query(manager, '//book[. = "A"]/../book[last()]')
+        assert values(manager, hits) == ["C"]
+
+
+class TestAncestorAxis:
+    def test_ancestors_of_book(self, manager):
+        hits = query(manager, '//book[. = "D"]/ancestor::*')
+        assert sorted(names(manager, hits)) == ["library", "shelf"]
+
+    def test_ancestor_node_includes_document(self, manager):
+        hits = query(manager, '//book[. = "D"]/ancestor::node()')
+        assert "#doc" in names(manager, hits)
+
+
+class TestSiblingAxes:
+    def test_following_siblings(self, manager):
+        hits = query(manager, '//book[. = "A"]/following-sibling::book')
+        assert values(manager, hits) == ["B", "C"]
+
+    def test_preceding_siblings(self, manager):
+        hits = query(manager, '//book[. = "C"]/preceding-sibling::book')
+        assert values(manager, hits) == ["A", "B"]
+
+    def test_sibling_text_nodes(self, manager):
+        hits = query(manager, '//book[. = "D"]/following-sibling::node()')
+        assert values(manager, hits) == ["note", "E"]
+
+    def test_no_siblings_beyond_edges(self, manager):
+        assert query(
+            manager, '//book[. = "C"]/following-sibling::book'
+        ) == []
+
+
+class TestNodeTest:
+    def test_node_matches_text_and_elements(self, manager):
+        hits = query(manager, "/library/shelf/node()")
+        assert values(manager, hits) == ["A", "B", "C", "D", "note", "E"]
+
+
+class TestAxesInPredicates:
+    def test_sibling_predicate(self, manager):
+        hits = query(
+            manager, '//book[following-sibling::book = "E"]'
+        )
+        assert values(manager, hits) == ["D"]
+
+    def test_parent_predicate(self, manager):
+        hits = query(manager, '//book[../@id = "s2"]')
+        assert values(manager, hits) == ["D", "E"]
+
+    def test_planner_falls_back_and_agrees(self, manager):
+        for text in (
+            '//book[following-sibling::book = "E"]',
+            '//book[../@id = "s2"]',
+            '//book[. = "A"]/following-sibling::book',
+        ):
+            assert query(manager, text) == query(
+                manager, text, use_indexes=False
+            ), text
+
+
+class TestFullDocumentAxes:
+    def test_following(self, manager):
+        hits = query(manager, '//book[. = "C"]/following::book')
+        assert values(manager, hits) == ["D", "E"]
+
+    def test_following_excludes_own_subtree(self, manager):
+        hits = query(manager, '//shelf[@id = "s1"]/following::node()')
+        labels = values(manager, hits)
+        assert "A" not in labels and "D" in labels
+
+    def test_preceding(self, manager):
+        hits = query(manager, '//book[. = "D"]/preceding::book')
+        assert values(manager, hits) == ["A", "B", "C"]
+
+    def test_preceding_excludes_ancestors(self, manager):
+        hits = query(manager, '//book[. = "A"]/preceding::*')
+        assert values(manager, hits) == []
+
+    def test_indexed_agrees(self, manager):
+        for text in (
+            '//book[. = "C"]/following::book',
+            '//book[preceding::book = "A"]',
+        ):
+            assert query(manager, text) == query(
+                manager, text, use_indexes=False
+            ), text

@@ -1,0 +1,107 @@
+"""Tests for and/or predicate expressions and their index plans."""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.query import explain, parse_query, query
+from repro.query.ast import BooleanExpr
+
+ITEMS = (
+    "<items>"
+    '<item region="eu"><name>towel</name><price>10.5</price><stock>3</stock></item>'
+    '<item region="us"><name>guide</name><price>42</price><stock>0</stock></item>'
+    '<item region="eu"><name>fish</name><price>7</price><stock>12</stock></item>'
+    '<item region="us"><name>towel</name><price>99</price><stock>5</stock></item>'
+    "</items>"
+)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = IndexManager(typed=("double",), substring=True)
+    m.load("items", ITEMS)
+    return m
+
+
+class TestParsing:
+    def test_and(self):
+        parsed = parse_query('//item[price = 42 and stock = 0]')
+        predicate = parsed.path.steps[0].predicates[0]
+        assert isinstance(predicate, BooleanExpr)
+        assert predicate.op == "and" and len(predicate.children) == 2
+
+    def test_or(self):
+        parsed = parse_query('//item[price = 42 or price = 7]')
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.op == "or"
+
+    def test_precedence_and_binds_tighter(self):
+        parsed = parse_query("//item[a = 1 or b = 2 and c = 3]")
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.op == "or"
+        assert isinstance(predicate.children[1], BooleanExpr)
+        assert predicate.children[1].op == "and"
+
+    def test_parentheses(self):
+        parsed = parse_query("//item[(a = 1 or b = 2) and c = 3]")
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.op == "and"
+        assert isinstance(predicate.children[0], BooleanExpr)
+        assert predicate.children[0].op == "or"
+
+    def test_keyword_needs_boundary(self):
+        # "android" is a name, not "and" followed by "roid".
+        parsed = parse_query("//item[android = 1]")
+        predicate = parsed.path.steps[0].predicates[0]
+        assert not isinstance(predicate, BooleanExpr)
+
+
+QUERIES = [
+    ('//item[price = 42 and stock = 0]', 1),
+    ('//item[price = 42 and stock = 99]', 0),
+    ('//item[price = 42 or price = 7]', 2),
+    ('//item[name = "towel" and price > 50]', 1),
+    ('//item[name = "towel" or name = "fish"]', 3),
+    ('//item[price > 5 and price < 11]', 2),
+    ('//item[(price = 42 or price = 7) and @region = "eu"]', 1),
+    ('//item[contains(name/text(), "towel") and price < 20]', 1),
+    ('//item[stock = 0 or contains(name/text(), "fish")]', 2),
+]
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("text,expected", QUERIES)
+    def test_indexed_equals_naive(self, manager, text, expected):
+        indexed = query(manager, text)
+        naive = query(manager, text, use_indexes=False)
+        assert indexed == naive, text
+        assert len(indexed) == expected, text
+
+
+class TestPlans:
+    def test_and_uses_one_driver(self, manager):
+        assert explain(manager, "//item[price = 42 and stock = 0]") == (
+            "index(double)"
+        )
+
+    def test_and_picks_the_indexable_conjunct(self, manager):
+        # != is not indexable; the second conjunct drives.
+        assert explain(manager, "//item[price != 42 and stock = 0]") == (
+            "index(double)"
+        )
+
+    def test_or_requires_all_branches(self, manager):
+        assert explain(manager, "//item[price = 42 or stock != 0]") == "scan"
+        assert explain(
+            manager, '//item[price = 42 or name = "fish"]'
+        ) == "index(double+string)"
+
+    def test_mixed_kind_drivers(self, manager):
+        plan = explain(
+            manager,
+            '//item[stock = 0 or contains(name/text(), "fish")]',
+        )
+        assert plan == "index(double+substring)"
+
+    def test_all_scan(self, manager):
+        assert explain(manager, "//item[a != 1 and b != 2]") == "scan"

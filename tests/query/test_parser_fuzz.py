@@ -1,0 +1,79 @@
+"""Fuzz tests: the query parser/evaluator never fail unexpectedly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexManager
+from repro.errors import (
+    QueryEvaluationError,
+    QuerySyntaxError,
+)
+from repro.query import parse_query, query
+
+_query_chars = st.text(
+    alphabet="/[]()@*.=<>!'\"abc123 ndorcotainslmt-:+",
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(_query_chars)
+@settings(max_examples=400, deadline=None)
+def test_parser_raises_only_query_errors(text):
+    """Arbitrary input either parses or raises QuerySyntaxError —
+    never an internal exception."""
+    try:
+        parse_query(text)
+    except QuerySyntaxError:
+        pass
+
+
+_MANAGER = IndexManager(typed=("double",), substring=True)
+_MANAGER.load(
+    "doc",
+    '<a x="1"><b>text</b><c>42</c><b>more<d/>tail</b></a>',
+)
+
+
+@given(_query_chars)
+@settings(max_examples=300, deadline=None)
+def test_evaluation_never_crashes_internally(text):
+    """Whatever parses must evaluate (or raise a documented
+    QueryEvaluationError), and indexed == naive when it does."""
+    try:
+        parsed_ok = True
+        parse_query(text)
+    except QuerySyntaxError:
+        parsed_ok = False
+    if not parsed_ok:
+        return
+    try:
+        indexed = query(_MANAGER, text)
+        naive = query(_MANAGER, text, use_indexes=False)
+    except QueryEvaluationError:
+        return
+    except Exception as exc:  # regex predicates may carry bad patterns
+        import re
+
+        if isinstance(exc, re.error):
+            return
+        raise
+    assert indexed == naive, text
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "//b",
+        "//a/b",
+        '//a[b = "text"]',
+        "//a[c = 42]",
+        "//*[. = 42]",
+        "//b[1]",
+        "//b/..",
+        '//b[contains(., "ex")]',
+    ],
+)
+def test_known_good_queries_still_work(text):
+    assert query(_MANAGER, text) == query(_MANAGER, text, use_indexes=False)

@@ -1,0 +1,102 @@
+"""Tests for positional predicates ([N], [last()])."""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.errors import QuerySyntaxError
+from repro.query import parse_query, query
+from repro.query.ast import PositionPredicate
+
+DOC = (
+    "<library>"
+    "<shelf><book>A</book><book>B</book><book>C</book></shelf>"
+    "<shelf><book>D</book><book>E</book></shelf>"
+    "</library>"
+)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = IndexManager(typed=())
+    m.load("lib", DOC)
+    return m
+
+
+def values(manager, nids):
+    out = []
+    for nid in nids:
+        doc, pre = manager.store.node(nid)
+        out.append(doc.string_value(pre))
+    return out
+
+
+class TestParsing:
+    def test_number(self):
+        parsed = parse_query("//book[2]")
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate == PositionPredicate(2)
+
+    def test_last(self):
+        parsed = parse_query("//book[last()]")
+        assert parsed.path.steps[0].predicates[0] == PositionPredicate(None)
+
+    def test_zero_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("//book[0]")
+
+    def test_position_then_value_predicate(self):
+        parsed = parse_query('//shelf[1][book = "A"]')
+        predicates = parsed.path.steps[0].predicates
+        assert isinstance(predicates[0], PositionPredicate)
+
+
+class TestEvaluation:
+    def test_first_per_context(self, manager):
+        """[1] applies per shelf, not globally."""
+        hits = query(manager, "/library/shelf/book[1]")
+        assert values(manager, hits) == ["A", "D"]
+
+    def test_second(self, manager):
+        hits = query(manager, "/library/shelf/book[2]")
+        assert values(manager, hits) == ["B", "E"]
+
+    def test_out_of_range(self, manager):
+        assert query(manager, "/library/shelf/book[7]") == []
+
+    def test_last_per_context(self, manager):
+        hits = query(manager, "/library/shelf/book[last()]")
+        assert values(manager, hits) == ["C", "E"]
+
+    def test_positional_on_outer_step(self, manager):
+        hits = query(manager, "/library/shelf[2]/book")
+        assert values(manager, hits) == ["D", "E"]
+
+    def test_descendant_axis_position_is_global_per_context(self, manager):
+        # From the single <library> context, //book candidates are in
+        # document order, so [1] is the very first book.
+        hits = query(manager, "/library//book[1]")
+        assert values(manager, hits) == ["A"]
+
+    def test_combined_with_value_predicate(self, manager):
+        hits = query(manager, '/library/shelf[book = "D"]/book[last()]')
+        assert values(manager, hits) == ["E"]
+
+    def test_value_then_position(self, manager):
+        # Left-to-right: filter by value first, then take the first of
+        # the survivors.
+        m = IndexManager(typed=("double",))
+        m.load("nums", "<r><v>1</v><v>5</v><v>7</v><v>5</v></r>")
+        hits = query(m, "//v[. = 5][1]", use_indexes=False)
+        assert len(hits) == 1
+        doc = m.store.document("nums")
+        assert doc.pre_of(hits[0]) == min(
+            p for p in range(len(doc))
+            if doc.kind[p] == 1 and doc.string_value(p) == "5"
+        )
+
+    def test_indexed_path_falls_back_cleanly(self, manager):
+        # A positional predicate forces the scan plan; results agree.
+        m = IndexManager(typed=("double",))
+        m.load("nums", "<r><v>5</v><v>5</v></r>")
+        text = "//v[. = 5][1]"
+        assert query(m, text) == query(m, text, use_indexes=False)

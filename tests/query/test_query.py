@@ -1,0 +1,240 @@
+"""Tests for the query layer: parser, naive evaluator, index plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexManager
+from repro.errors import QuerySyntaxError
+from repro.query import explain, parse_query, query
+from repro.xmldb import ATTR, ELEM, TEXT
+
+PERSONS = (
+    "<persons>"
+    "<person><name><first>Arthur</first><family>Dent</family></name>"
+    "<age><decades>4</decades>2<years/></age></person>"
+    "<person><name><first>Ford</first><family>Prefect</family></name>"
+    "<age>200</age></person>"
+    "<person><name><first>Tricia</first><family>McMillan</family></name>"
+    "<age>42</age></person>"
+    "</persons>"
+)
+
+ITEMS = (
+    "<items>"
+    '<item price="10.5" currency="EUR"><title>towel</title></item>'
+    '<item price="42" currency="USD"><title>guide</title></item>'
+    '<item price="7" currency="EUR"><title>fish</title></item>'
+    "</items>"
+)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    m = IndexManager(typed=("double",))
+    m.load("persons", PERSONS)
+    m.load("items", ITEMS)
+    return m
+
+
+def names(manager, nids):
+    out = []
+    for nid in nids:
+        doc, pre = manager.store.node(nid)
+        kind = doc.kind[pre]
+        if kind == ELEM:
+            out.append(doc.name_of(pre))
+        elif kind == TEXT:
+            out.append(f"text({doc.text_of(pre)})")
+        elif kind == ATTR:
+            out.append(f"@{doc.name_of(pre)}")
+    return out
+
+
+class TestParser:
+    def test_paper_query_1(self):
+        parsed = parse_query('doc("persons.xml")//person[.//age = 42]')
+        assert parsed.document == "persons.xml"
+        assert len(parsed.path.steps) == 1
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.op == "=" and predicate.literal == 42.0
+
+    def test_paper_query_2(self):
+        parsed = parse_query('doc("person")//person[first/text()="Arthur"]')
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.literal == "Arthur"
+        assert len(predicate.operand.steps) == 2
+
+    def test_paper_query_3(self):
+        parsed = parse_query('doc("person")//*[fn:data(name)="ArthurDent"]')
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.literal == "ArthurDent"
+
+    def test_multi_step_path(self):
+        parsed = parse_query("/persons/person/name")
+        assert [s.axis for s in parsed.path.steps] == ["child"] * 3
+
+    def test_attribute_predicate(self):
+        parsed = parse_query("//item[@price < 11]")
+        predicate = parsed.path.steps[0].predicates[0]
+        assert predicate.op == "<" and predicate.literal == 11.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "//",
+            "//person[",
+            "//person[age 42]",
+            "//person[age = ]",
+            "//person[age = 'x]",
+            "doc('a'//x",
+            "//person]extra",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestNaiveEvaluation:
+    def test_descendant_name(self, manager):
+        hits = query(manager, "//first", use_indexes=False)
+        assert names(manager, hits) == ["first", "first", "first"]
+
+    def test_child_path(self, manager):
+        hits = query(manager, "/persons/person/name", use_indexes=False)
+        assert len(hits) == 3
+
+    def test_wildcard(self, manager):
+        hits = query(manager, "/persons/*", document="persons", use_indexes=False)
+        assert names(manager, hits) == ["person"] * 3
+
+    def test_text_nodes(self, manager):
+        hits = query(manager, "//first/text()", use_indexes=False)
+        assert len(hits) == 3
+
+    def test_attributes(self, manager):
+        hits = query(manager, "//item/@price", use_indexes=False)
+        assert names(manager, hits) == ["@price"] * 3
+
+    def test_attribute_wildcard(self, manager):
+        hits = query(manager, "//item/@*", use_indexes=False)
+        assert len(hits) == 6
+
+    def test_document_scoping(self, manager):
+        assert query(manager, 'doc("items")//person', use_indexes=False) == []
+        assert len(query(manager, "//item", document="items")) == 3
+
+
+# The paper's three motivating queries, evaluated both ways.
+PAPER_QUERIES = [
+    ('//person[.//age = 42]', ["person", "person"]),  # Arthur + Tricia
+    ('//person[name/first/text()="Arthur"]', ["person"]),
+    ('//*[fn:data(name)="ArthurDent"]', ["person"]),
+]
+
+
+class TestIndexedEvaluation:
+    @pytest.mark.parametrize("text,expected", PAPER_QUERIES)
+    def test_paper_queries(self, manager, text, expected):
+        indexed = query(manager, text, document="persons")
+        naive = query(manager, text, document="persons", use_indexes=False)
+        assert indexed == naive
+        assert names(manager, indexed) == expected
+
+    def test_numeric_equality_uses_index(self, manager):
+        assert explain(manager, "//person[.//age = 42]") == "index(double)"
+
+    def test_string_equality_uses_index(self, manager):
+        assert explain(manager, '//person[name = "ArthurDent"]') == "index(string)"
+
+    def test_no_predicate_scans(self, manager):
+        assert explain(manager, "//person") == "scan"
+
+    def test_not_equal_scans(self, manager):
+        assert explain(manager, "//person[age != 42]") == "scan"
+
+    def test_range_queries(self, manager):
+        for text in (
+            "//item[@price < 11]",
+            "//item[@price <= 10.5]",
+            "//item[@price > 7]",
+            "//item[@price >= 42]",
+        ):
+            indexed = query(manager, text, document="items")
+            naive = query(manager, text, document="items", use_indexes=False)
+            assert indexed == naive, text
+        cheap = query(manager, "//item[@price < 11]", document="items")
+        assert len(cheap) == 2  # towel (10.5) and fish (7)
+
+    def test_self_comparison(self, manager):
+        indexed = query(manager, "//age[. = 42]", document="persons")
+        naive = query(
+            manager, "//age[. = 42]", document="persons", use_indexes=False
+        )
+        assert indexed == naive
+        assert names(manager, indexed) == ["age", "age"]
+
+    def test_deep_outer_path(self, manager):
+        text = '/persons/person[name/family = "Prefect"]'
+        indexed = query(manager, text)
+        naive = query(manager, text, use_indexes=False)
+        assert indexed == naive
+        assert len(indexed) == 1
+
+    def test_string_equality_on_text_step(self, manager):
+        text = '//family[text() = "Dent"]'
+        assert query(manager, text) == query(manager, text, use_indexes=False)
+
+    def test_results_after_update(self, manager):
+        # Index plans must follow updates.  Use a dedicated manager to
+        # leave the module fixture untouched.
+        m = IndexManager(typed=("double",))
+        m.load("persons", PERSONS)
+        doc = m.store.document("persons")
+        tricia_age = next(
+            doc.nid[p]
+            for p in range(len(doc))
+            if doc.kind[p] == TEXT and doc.text_of(p) == "42"
+        )
+        m.update_text(tricia_age, "43")
+        hits = query(m, "//person[.//age = 42]")
+        assert len(hits) == 1  # only Arthur's mixed-content age remains
+
+
+class TestMixedContentSemantics:
+    """The paper's core correctness claim: value predicates see the
+    concatenated string value of mixed-content and element nodes."""
+
+    def test_decomposed_age_matches(self, manager):
+        hits = query(manager, "//age[. = 42]", document="persons")
+        # Arthur's <age><decades>4</decades>2<years/></age> matches.
+        assert len(hits) == 2
+
+    def test_concatenated_name(self, manager):
+        hits = query(manager, '//name[. = "ArthurDent"]', document="persons")
+        assert len(hits) == 1
+
+
+@st.composite
+def _query_strings(draw):
+    name = draw(st.sampled_from(["person", "name", "first", "age", "item"]))
+    op = draw(st.sampled_from(["=", "<", "<=", ">", ">="]))
+    value = draw(st.sampled_from(["42", "7", "200", "10.5", "0"]))
+    inner = draw(st.sampled_from([".", ".//age", "name/first", "@price"]))
+    return f"//{name}[{inner} {op} {value}]"
+
+
+@given(_query_strings())
+@settings(max_examples=60, deadline=None)
+def test_indexed_equals_naive(manager_query):
+    manager = _MODULE_MANAGER
+    indexed = query(manager, manager_query)
+    naive = query(manager, manager_query, use_indexes=False)
+    assert indexed == naive
+
+
+_MODULE_MANAGER = IndexManager(typed=("double",))
+_MODULE_MANAGER.load("persons", PERSONS)
+_MODULE_MANAGER.load("items", ITEMS)

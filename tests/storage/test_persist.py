@@ -1,0 +1,184 @@
+"""Tests for the on-disk persistence layer."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import IndexManager
+from repro.errors import ReproError
+from repro.storage import FormatError, load_manager, load_store, save_manager, save_store
+from repro.storage.format import decode_varint, encode_varint
+from repro.workloads import generate_xmark
+from repro.xmldb import Store, TEXT
+
+PERSON = (
+    '<person id="p1">'
+    "<name><first>Arthur</first><family>Dent</family></name>"
+    "<age><decades>4</decades>2<years/></age>"
+    "<weight><kilos>78</kilos>.<grams>230</grams></weight>"
+    "</person>"
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 300, 2**20, 2**64, 10**30]
+    )
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded, 0)
+        assert decoded == value and offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(FormatError):
+            decode_varint(b"\x80", 0)
+
+
+class TestStoreRoundtrip:
+    def test_single_document(self, tmp_path):
+        store = Store()
+        doc = store.add_document("person", PERSON)
+        save_store(store, str(tmp_path / "db"))
+        loaded = load_store(str(tmp_path / "db"))
+        again = loaded.document("person")
+        assert again.serialize() == doc.serialize()
+        assert again.kind == doc.kind
+        assert again.size == doc.size
+        assert again.level == doc.level
+        assert again.nid == doc.nid
+        assert again.parent_nid == doc.parent_nid
+        assert again.texts == doc.texts
+        assert again.source_bytes == doc.source_bytes
+        again.check_invariants()
+
+    def test_multiple_documents_and_nid_counter(self, tmp_path):
+        store = Store()
+        store.add_document("a", "<x>1</x>")
+        store.add_document("b", "<y>2</y>")
+        save_store(store, str(tmp_path / "db"))
+        loaded = load_store(str(tmp_path / "db"))
+        assert set(loaded.documents) == {"a", "b"}
+        assert loaded._next_nid == store._next_nid
+        # New nids don't collide with existing ones.
+        fresh = loaded.allocate_nid()
+        assert fresh not in set(loaded.nids())
+
+    def test_unicode_content(self, tmp_path):
+        store = Store()
+        store.add_document("u", "<a>héllo wörld — ünïcode</a>")
+        save_store(store, str(tmp_path / "db"))
+        loaded = load_store(str(tmp_path / "db"))
+        doc = loaded.document("u")
+        assert doc.string_value(0) == "héllo wörld — ünïcode"
+
+    def test_updates_after_reload(self, tmp_path):
+        store = Store()
+        store.add_document("d", "<a><b>x</b></a>")
+        save_store(store, str(tmp_path / "db"))
+        loaded = load_store(str(tmp_path / "db"))
+        doc = loaded.document("d")
+        nid = next(
+            doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT
+        )
+        loaded.update_text(nid, "y")
+        root_nid = doc.nid[doc.root_element()]
+        loaded.insert_xml(root_nid, "<c>z</c>")
+        assert doc.string_value(0) == "yz"
+        doc.check_invariants()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_store(str(tmp_path))
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(FormatError):
+            load_store(str(tmp_path))
+
+    def test_corrupt_document_file(self, tmp_path):
+        store = Store()
+        store.add_document("d", "<a/>")
+        save_store(store, str(tmp_path / "db"))
+        doc_file = next(
+            p for p in (tmp_path / "db").iterdir() if p.suffix == ".doc"
+        )
+        doc_file.write_bytes(b"garbage")
+        with pytest.raises(FormatError):
+            load_store(str(tmp_path / "db"))
+
+
+class TestManagerRoundtrip:
+    @pytest.fixture()
+    def manager(self):
+        m = IndexManager(typed=("double", "dateTime"), substring=True)
+        m.load("person", PERSON)
+        return m
+
+    def test_indices_roundtrip(self, manager, tmp_path):
+        save_manager(manager, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert loaded.string_index.hash_of == manager.string_index.hash_of
+        for name in ("double", "dateTime"):
+            left = manager.typed_index(name)
+            right = loaded.typed_index(name)
+            assert left.fragment_of_node == right.fragment_of_node
+            assert list(left.tree.keys()) == list(right.tree.keys())
+        loaded.check_consistency()
+
+    def test_lookups_after_reload(self, manager, tmp_path):
+        save_manager(manager, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert list(loaded.lookup_string("ArthurDent"))
+        assert list(loaded.lookup_typed_equal("double", 78.23))
+        assert list(loaded.lookup_contains("Arthur"))
+
+    def test_updates_after_reload(self, manager, tmp_path):
+        save_manager(manager, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        doc = loaded.store.document("person")
+        nid = next(
+            doc.nid[p]
+            for p in range(len(doc))
+            if doc.kind[p] == TEXT and doc.text_of(p) == "Dent"
+        )
+        loaded.update_text(nid, "Prefect")
+        assert list(loaded.lookup_string("ArthurPrefect"))
+        loaded.check_consistency()
+
+    def test_substring_config_preserved(self, manager, tmp_path):
+        save_manager(manager, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert loaded.substring_index is not None
+        assert loaded.substring_index.q == manager.substring_index.q
+
+    def test_store_only_save_refuses_manager_load(self, tmp_path):
+        store = Store()
+        store.add_document("d", "<a/>")
+        save_store(store, str(tmp_path / "db"))
+        with pytest.raises(ReproError, match="save_store"):
+            load_manager(str(tmp_path / "db"))
+
+    def test_larger_document(self, tmp_path):
+        m = IndexManager(typed=("double",))
+        m.load("xmark", generate_xmark(0.3))
+        save_manager(m, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert loaded.string_index.hash_of == m.string_index.hash_of
+        loaded.check_consistency()
+        # Real on-disk files exist with sensible sizes.
+        files = list((tmp_path / "db").iterdir())
+        assert any(f.suffix == ".doc" for f in files)
+        assert any(f.suffix == ".sidx" for f in files)
+        assert sum(f.stat().st_size for f in files) > 1000
+
+    def test_weird_document_names(self, tmp_path):
+        m = IndexManager(typed=())
+        m.load("weird/name with spaces!.xml", "<a>x</a>")
+        save_manager(m, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert "weird/name with spaces!.xml" in loaded.store.documents

@@ -1,0 +1,185 @@
+"""Tests for the WAL and the durable Database facade."""
+
+import os
+
+import pytest
+
+from repro.database import Database
+from repro.storage.wal import (
+    DELETE_SUBTREE,
+    TEXT_UPDATE,
+    WalRecord,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    replay_records,
+)
+from repro.xmldb import ELEM, TEXT
+
+PERSON = (
+    "<person>"
+    "<name><first>Arthur</first><family>Dent</family></name>"
+    "<age>42</age>"
+    "</person>"
+)
+
+
+def text_nid(db, content):
+    doc = db.store.document("person")
+    for pre in range(len(doc)):
+        if doc.kind[pre] == TEXT and doc.text_of(pre) == content:
+            return doc.nid[pre]
+    raise AssertionError(content)
+
+
+def elem_nid(db, name):
+    doc = db.store.document("person")
+    for pre in range(len(doc)):
+        if doc.kind[pre] == ELEM and doc.name_of(pre) == name:
+            return doc.nid[pre]
+    raise AssertionError(name)
+
+
+class TestWalFormat:
+    def test_record_roundtrip(self):
+        record = WalRecord(TEXT_UPDATE, 42, text="héllo", name="n", extra=7)
+        decoded, offset = decode_record(encode_record(record), 0)
+        assert decoded == record
+
+    def test_append_and_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.append(WalRecord(DELETE_SUBTREE, 2))
+        log.close()
+        records = list(replay_records(path))
+        assert [r.kind for r in records] == [TEXT_UPDATE, DELETE_SUBTREE]
+
+    def test_truncate(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.truncate()
+        log.close()
+        assert list(replay_records(path)) == []
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(WalRecord(TEXT_UPDATE, 1, text="complete"))
+        log.close()
+        with open(path, "ab") as fh:
+            fh.write(encode_record(WalRecord(TEXT_UPDATE, 2, text="torn"))[:-3])
+        records = list(replay_records(path))
+        assert len(records) == 1
+        assert records[0].text == "complete"
+
+    def test_missing_file(self, tmp_path):
+        assert list(replay_records(str(tmp_path / "absent.log"))) == []
+
+    def test_bad_sync_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "w"), sync="wrong")
+
+
+class TestDatabase:
+    def test_create_load_query(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            db.load("person", PERSON)
+            assert db.query("//person[age = 42]")
+            assert db.explain("//person[age = 42]") == "index(double)"
+
+    def test_reopen_without_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database(path) as db:
+            db.load("person", PERSON)
+            db.update_text(text_nid(db, "Dent"), "Prefect")
+        with Database(path) as db:
+            assert db.recovered_records == 0  # clean close checkpointed
+            assert list(db.lookup_string("ArthurPrefect"))
+
+    def test_crash_recovery_replays_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        db.load("person", PERSON)
+        db.update_text(text_nid(db, "Dent"), "Prefect")
+        db.insert_xml(elem_nid(db, "person"), "<iq>160</iq>")
+        # Simulate a crash: no close(), no checkpoint.
+        del db
+        recovered = Database(path)
+        assert recovered.recovered_records == 2
+        assert list(recovered.lookup_string("ArthurPrefect"))
+        assert list(recovered.lookup_typed_equal("double", 160.0))
+        recovered.manager.check_consistency()
+        recovered.close()
+
+    def test_structural_replay_recreates_nids(self, tmp_path):
+        """A logged structural insert must replay to the same nids so
+        later log records targeting them stay valid."""
+        path = str(tmp_path / "db")
+        db = Database(path)
+        db.load("person", PERSON)
+        change = db.insert_xml(elem_nid(db, "person"), "<iq>160</iq>")
+        iq_text = next(
+            nid
+            for nid in change.added_nids
+            if db.store.node(nid)[0].kind[db.store.node(nid)[1]] == TEXT
+        )
+        db.update_text(iq_text, "170")  # targets a replayed nid
+        del db
+        recovered = Database(path)
+        assert recovered.recovered_records == 2
+        assert list(recovered.lookup_typed_equal("double", 170.0))
+        assert not list(recovered.lookup_typed_equal("double", 160.0))
+        recovered.close()
+
+    def test_exception_preserves_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        with pytest.raises(RuntimeError):
+            with Database(path) as db:
+                db.load("person", PERSON)
+                db.update_text(text_nid(db, "Dent"), "Prefect")
+                raise RuntimeError("boom")
+        recovered = Database(path)
+        assert recovered.recovered_records == 1
+        assert list(recovered.lookup_string("ArthurPrefect"))
+        recovered.close()
+
+    def test_auto_checkpoint(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, checkpoint_every=3)
+        db.load("person", PERSON)
+        nid = text_nid(db, "Dent")
+        for i in range(4):
+            db.update_text(nid, f"v{i}")
+        # 3 updates triggered a checkpoint; at most 1 record pending.
+        del db
+        recovered = Database(path)
+        assert recovered.recovered_records <= 1
+        doc = recovered.store.document("person")
+        assert doc.string_value(doc.pre_of(nid)) == "v3"
+        recovered.close()
+
+    def test_attribute_and_rename_recovery(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        db.load("person", PERSON)
+        change = db.insert_attribute(elem_nid(db, "person"), "id", "p1")
+        db.rename(elem_nid(db, "age"), "years")
+        db.delete_attribute(change.added_nids[0])
+        del db
+        recovered = Database(path)
+        assert recovered.recovered_records == 3
+        doc = recovered.store.document("person")
+        assert "<years>" in doc.serialize()
+        assert 'id="p1"' not in doc.serialize()
+        recovered.manager.check_consistency()
+        recovered.close()
+
+    def test_existing_config_preserved(self, tmp_path):
+        path = str(tmp_path / "db")
+        Database(path, typed=("double", "integer"), substring=True).close()
+        reopened = Database(path)  # defaults ignored for existing db
+        assert set(reopened.manager.typed_indexes) == {"double", "integer"}
+        assert reopened.manager.substring_index is not None
+        reopened.close()

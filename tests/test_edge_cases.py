@@ -1,0 +1,133 @@
+"""Edge-case tests across module boundaries."""
+
+import pytest
+
+from repro.core import IndexManager
+from repro.core.hashing import hash_string, hash_strings
+from repro.errors import DocumentError
+from repro.workloads.stats import DatasetStats
+from repro.xmldb import Store
+
+
+class TestHashingEdges:
+    def test_batch_accepts_bytes(self):
+        values = [b"Arthur", "Dent", b"", "42" * 40]
+        assert hash_strings(values) == [hash_string(v) for v in values]
+
+    def test_batch_of_empties(self):
+        values = [""] * 20
+        assert hash_strings(values) == [0] * 20
+
+    def test_batch_mixed_lengths_spanning_vector_threshold(self):
+        values = ["", "a", "b" * 47, "c" * 48, "d" * 500, "e"]
+        assert hash_strings(values) == [hash_string(v) for v in values]
+
+    def test_non_ascii_high_bytes_masked(self):
+        # Only the 7 low bits of each UTF-8 byte enter the hash.
+        assert hash_string("é") == hash_string(bytes(b & 127 for b in "é".encode()))
+
+
+class TestDocumentEdges:
+    def test_serialize_attribute_standalone_rejected(self):
+        doc = Store().add_document("a", '<a x="1"/>')
+        attr_pre = 2
+        with pytest.raises(DocumentError):
+            doc.serialize(attr_pre)
+
+    def test_text_of_on_element_rejected(self):
+        doc = Store().add_document("a", "<a>x</a>")
+        with pytest.raises(DocumentError):
+            doc.text_of(doc.root_element())
+
+    def test_name_of_on_text_rejected(self):
+        doc = Store().add_document("a", "<a>x</a>")
+        with pytest.raises(DocumentError):
+            doc.name_of(2)
+
+    def test_root_element_of_commentful_document(self):
+        doc = Store().add_document("a", "<!--c--><a/><!--d-->")
+        assert doc.name_of(doc.root_element()) == "a"
+
+    def test_deeply_nested_document(self):
+        depth = 200
+        xml = "".join(f"<n{i}>" for i in range(depth))
+        xml += "leaf"
+        xml += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("deep", xml)
+        doc.check_invariants()
+        assert len(list(manager.lookup_string("leaf"))) == depth + 2
+        # An update near the leaf recomputes the whole ancestor chain.
+        nid = doc.nid[len(doc) - 1]
+        recomputed = manager.update_text(nid, "42")
+        assert recomputed == depth + 2
+        manager.check_consistency()
+
+    def test_huge_fanout_document(self):
+        xml = "<r>" + "".join(f"<c>{i}</c>" for i in range(2000)) + "</r>"
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("wide", xml)
+        doc.check_invariants()
+        hits = list(manager.lookup_typed_equal("double", 999.0))
+        assert len(hits) == 2  # text + element
+
+    def test_empty_root(self):
+        manager = IndexManager(typed=("double",))
+        manager.load("e", "<a/>")
+        # The empty string value is indexed (hash 0).
+        hits = list(manager.lookup_string(""))
+        assert len(hits) == 2  # doc node + root element
+
+
+class TestStatsFormatting:
+    def test_header_and_row_align(self):
+        stats = DatasetStats("test", 1024 * 1024, 100, 60, 8, 0)
+        assert "Size MB" in DatasetStats.header()
+        row = stats.row()
+        assert "test" in row and "60%" in row
+
+    def test_zero_node_stats(self):
+        stats = DatasetStats("empty", 0, 0, 0, 0, 0)
+        assert stats.text_fraction == 0.0
+        assert stats.double_fraction == 0.0
+
+
+class TestManagerEdges:
+    def test_unload_with_substring_index(self):
+        manager = IndexManager(typed=("double",), substring=True)
+        manager.load("a", "<r><v>hello world</v></r>")
+        manager.load("b", "<r><v>hello there</v></r>")
+        manager.unload("a")
+        hits = list(manager.lookup_contains("hello"))
+        assert len(hits) == 1
+        manager.check_consistency()
+
+    def test_update_comment_is_ignored_by_indices(self):
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("c", "<a><!--note-->x</a>")
+        comment = next(
+            doc.nid[p] for p in range(len(doc)) if doc.kind[p] == 4
+        )
+        count = manager.update_text(comment, "new note")
+        assert count == 0
+        assert doc.string_value(0) == "x"
+        manager.check_consistency()
+
+    def test_delete_entire_root_element(self):
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("d", "<a><b>42</b></a>")
+        manager.delete_subtree(doc.nid[doc.root_element()])
+        assert len(doc) == 1  # just the document node
+        assert list(manager.lookup_typed_equal("double", 42.0)) == []
+        # The document node's own value is now empty.
+        assert list(manager.lookup_string(""))
+        manager.check_consistency()
+
+    def test_insert_into_emptied_document(self):
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("d", "<a/>")
+        manager.delete_subtree(doc.nid[doc.root_element()])
+        manager.insert_xml(doc.nid[0], "<b>7</b>")
+        assert list(manager.lookup_typed_equal("double", 7.0))
+        doc.check_invariants()
+        manager.check_consistency()

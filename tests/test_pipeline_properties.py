@@ -1,0 +1,176 @@
+"""Cross-module metamorphic properties over the whole pipeline.
+
+These tests tie the subsystems together: random documents flow through
+generate -> shred -> index -> (serialize | persist | update | query)
+and invariants that must survive every stage are checked.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexManager, hash_string
+from repro.core.hashing import hash_strings
+from repro.query import query
+from repro.storage import load_manager, save_manager
+from repro.workloads import collect_stats, generate_xmark
+from repro.xmldb import Store, TEXT
+
+_names = st.sampled_from("abcdef")
+_texts = st.sampled_from(
+    ["", "x", "42", "4.2", " .5", "E+9", "hello world", "<&>'\"", "héllo"]
+)
+
+
+@st.composite
+def xml_documents(draw, max_depth=4):
+    """Random well-formed documents with attributes and mixed content."""
+
+    def element(depth):
+        name = draw(_names)
+        attrs = ""
+        for attr in draw(st.lists(_names, max_size=2, unique=True)):
+            value = (
+                draw(_texts)
+                .replace('"', "")
+                .replace("<", "")
+                .replace("&", "")
+            )
+            attrs += f' {attr}="{value}"'
+        if depth >= max_depth:
+            return f"<{name}{attrs}/>"
+        parts = []
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                text = draw(_texts).replace("<", "").replace("&", "")
+                parts.append(text)
+            else:
+                parts.append(element(depth + 1))
+        return f"<{name}{attrs}>{''.join(parts)}</{name}>"
+
+    return element(0)
+
+
+class TestSerializeShredFixpoint:
+    @given(xml_documents())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_preserves_everything(self, xml):
+        store = Store()
+        doc = store.add_document("a", xml)
+        doc.check_invariants()
+        serialized = doc.serialize()
+        again = Store().add_document("b", serialized)
+        # Serialisation is a fixpoint after one round.
+        assert again.serialize() == serialized
+        # Node structure and values identical.
+        assert again.kind == doc.kind
+        assert again.size == doc.size
+        assert again.texts == doc.texts
+
+    @given(xml_documents())
+    @settings(max_examples=50, deadline=None)
+    def test_stats_invariant_under_roundtrip(self, xml):
+        one = collect_stats(Store().add_document("a", xml))
+        two = collect_stats(
+            Store().add_document("b", Store().add_document("c", xml).serialize())
+        )
+        assert one.total_nodes == two.total_nodes
+        assert one.text_nodes == two.text_nodes
+        assert one.double_values == two.double_values
+
+
+class TestIndexInvariants:
+    @given(xml_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_every_node_hash_matches_string_value(self, xml):
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("doc", xml)
+        for pre in range(len(doc)):
+            if doc.kind[pre] in (4, 5):  # comments/PIs not indexed
+                continue
+            assert manager.string_index.hash_of[doc.nid[pre]] == hash_string(
+                doc.string_value(pre)
+            )
+
+    @given(xml_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_typed_entries_match_direct_cast(self, xml):
+        manager = IndexManager(typed=("double",))
+        doc = manager.load("doc", xml)
+        index = manager.typed_index("double")
+        plugin = index.plugin
+        for pre in range(len(doc)):
+            if doc.kind[pre] in (4, 5):
+                continue
+            expected = plugin.value_of_text(doc.string_value(pre))
+            assert index.value_of(doc.nid[pre]) == expected
+
+    @given(xml_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_persistence_is_transparent(self, xml):
+        import tempfile
+
+        manager = IndexManager(typed=("double",))
+        manager.load("doc", xml)
+        with tempfile.TemporaryDirectory() as target:
+            save_manager(manager, target)
+            loaded = load_manager(target)
+        assert loaded.string_index.hash_of == manager.string_index.hash_of
+        loaded.check_consistency()
+
+
+class TestQueryAgreement:
+    @given(xml_documents(), _names, st.sampled_from(["42", "4.2", "x"]))
+    @settings(max_examples=60, deadline=None)
+    def test_index_and_scan_agree_on_random_docs(self, xml, name, literal):
+        manager = IndexManager(typed=("double",))
+        manager.load("doc", xml)
+        if literal.replace(".", "").isdigit():
+            text = f"//{name}[. = {literal}]"
+        else:
+            text = f'//{name}[. = "{literal}"]'
+        assert query(manager, text) == query(manager, text, use_indexes=False)
+
+
+class TestBatchHashing:
+    @given(st.lists(_texts, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_batch_equals_scalar(self, values):
+        assert hash_strings(values) == [hash_string(v) for v in values]
+
+    def test_large_batch(self):
+        values = [f"value-{i}" * (i % 7) for i in range(5000)]
+        assert hash_strings(values) == [hash_string(v) for v in values]
+
+
+def test_end_to_end_update_storm():
+    """A long random session: updates, inserts, deletes, queries,
+    persistence — everything stays consistent."""
+    rng = random.Random(1234)
+    manager = IndexManager(typed=("double",), substring=True)
+    doc = manager.load("xmark", generate_xmark(0.5, seed=77))
+    for step in range(60):
+        roll = rng.random()
+        texts = [doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT]
+        if roll < 0.5:
+            nid = rng.choice(texts)
+            manager.update_text(nid, rng.choice(["77", "marvin", "8.25", ""]))
+        elif roll < 0.7:
+            root = doc.nid[doc.root_element()]
+            manager.insert_xml(root, f"<extra{step}>{step}</extra{step}>")
+        elif roll < 0.8:
+            extras = [
+                doc.nid[p]
+                for p in range(len(doc))
+                if doc.kind[p] == 1 and doc.name_of(p).startswith("extra")
+            ]
+            if extras:
+                manager.delete_subtree(rng.choice(extras))
+        else:
+            text = "//item[quantity = 77]"
+            assert query(manager, text) == query(
+                manager, text, use_indexes=False
+            )
+    manager.check_consistency()

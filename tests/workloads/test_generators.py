@@ -1,0 +1,160 @@
+"""Tests for the dataset generators: well-formedness, determinism and
+Table 1 node-mix calibration."""
+
+import random
+
+import pytest
+
+from repro.core.hashing import hash_string
+from repro.workloads import (
+    DATASETS,
+    collect_stats,
+    collision_family,
+    dataset,
+    random_text_updates,
+    text_nids,
+)
+from repro.xmldb import Store
+
+SCALE = 0.05  # small but statistically stable
+
+
+@pytest.fixture(scope="module")
+def built():
+    """All eight datasets shredded at test scale."""
+    store = Store()
+    stats = {}
+    for name, spec in DATASETS.items():
+        doc = store.add_document(name, spec.build(SCALE))
+        doc.check_invariants()
+        stats[name] = collect_stats(doc)
+    return store, stats
+
+
+class TestWellFormedness:
+    def test_all_parse_and_validate(self, built):
+        store, _stats = built
+        assert len(store.documents) == 8
+
+    def test_deterministic(self):
+        spec = dataset("XMark1")
+        assert spec.build(0.02) == spec.build(0.02)
+
+    def test_scales_differ(self):
+        spec = dataset("XMark1")
+        assert len(spec.build(0.04)) > len(spec.build(0.02))
+
+    def test_serialization_roundtrip(self, built):
+        store, _ = built
+        doc = store.document("EPAGeo")
+        xml = doc.serialize()
+        again = Store().add_document("copy", xml)
+        assert again.serialize() == xml
+
+
+class TestTable1Calibration:
+    """Node-mix fractions must be near the paper's Table 1."""
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_text_fraction(self, built, name):
+        _store, stats = built
+        paper = DATASETS[name].paper_text_pct / 100
+        assert abs(stats[name].text_fraction - paper) < 0.05, (
+            f"{name}: {stats[name].text_fraction:.0%} vs paper {paper:.0%}"
+        )
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_double_fraction(self, built, name):
+        _store, stats = built
+        paper = DATASETS[name].paper_double_pct / 100
+        assert abs(stats[name].double_fraction - paper) < 0.02, (
+            f"{name}: {stats[name].double_fraction:.1%} vs paper {paper:.1%}"
+        )
+
+    @pytest.mark.parametrize("name", ["XMark1", "XMark2", "XMark4", "XMark8",
+                                      "EPAGeo", "Wiki"])
+    def test_no_non_leaf_doubles(self, built, name):
+        _store, stats = built
+        assert stats[name].non_leaf_doubles == 0
+
+    @pytest.mark.parametrize("name", ["DBLP", "PSD"])
+    def test_has_non_leaf_doubles(self, built, name):
+        _store, stats = built
+        assert stats[name].non_leaf_doubles >= 1
+
+    def test_xmark_scale_factors_nest(self, built):
+        _store, stats = built
+        sizes = [stats[f"XMark{sf}"].total_nodes for sf in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+        # Roughly doubling at each step.
+        for small, large in zip(sizes, sizes[1:]):
+            assert 1.5 < large / small < 2.5
+
+    def test_relative_dataset_sizes(self, built):
+        _store, stats = built
+        # Wiki is the biggest corpus, XMark1 the smallest (as in paper).
+        assert stats["Wiki"].total_nodes == max(
+            s.total_nodes for s in stats.values()
+        )
+        assert stats["XMark1"].total_nodes == min(
+            s.total_nodes for s in stats.values()
+        )
+
+
+class TestCollisionFamilies:
+    def test_members_distinct_but_hash_equal(self):
+        rng = random.Random(1)
+        for size in range(2, 10):
+            family = collision_family(rng, size)
+            assert len(set(family)) == size
+            assert len({hash_string(u) for u in family}) == 1
+
+    def test_bad_sizes_rejected(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            collision_family(rng, 1)
+        with pytest.raises(ValueError):
+            collision_family(rng, 10)
+
+    def test_wiki_contains_collisions(self, built):
+        store, _ = built
+        doc = store.document("Wiki")
+        from collections import Counter
+
+        values = {
+            doc.text_of(p)
+            for p in range(len(doc))
+            if doc.text_id[p] >= 0 and doc.text_of(p).startswith("http")
+        }
+        groups = Counter(hash_string(v) for v in values)
+        biggest = max(groups.values())
+        assert biggest >= 3  # engineered families survive generation
+
+
+class TestUpdateWorkload:
+    def test_count_and_membership(self, built):
+        store, _ = built
+        doc = store.document("XMark1")
+        updates = random_text_updates(doc, 50, random.Random(3))
+        assert len(updates) == 50
+        nids = set(text_nids(doc))
+        assert all(nid in nids for nid, _ in updates)
+
+    def test_sample_without_replacement_when_possible(self, built):
+        store, _ = built
+        doc = store.document("XMark1")
+        updates = random_text_updates(doc, 50, random.Random(3))
+        assert len({nid for nid, _ in updates}) == 50
+
+    def test_oversampling_allowed(self, built):
+        store, _ = built
+        doc = store.document("XMark1")
+        n = len(text_nids(doc))
+        updates = random_text_updates(doc, n + 10, random.Random(3))
+        assert len(updates) == n + 10
+
+    def test_empty_document_rejected(self):
+        store = Store()
+        doc = store.add_document("empty", "<a/>")
+        with pytest.raises(ValueError):
+            random_text_updates(doc, 1)

@@ -1,0 +1,182 @@
+"""Tests for documents, shredding, string values and serialisation."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.xmldb import ATTR, COMMENT, DOC, ELEM, PI, TEXT, Store
+
+PERSON = (
+    "<person>"
+    "<name><first>Arthur</first><family>Dent</family></name>"
+    "<birthday>1966-09-26</birthday>"
+    "<age><decades>4</decades>2<years/></age>"
+    "<weight><kilos>78</kilos>.<grams>230</grams></weight>"
+    "</person>"
+)
+
+
+@pytest.fixture()
+def store():
+    return Store()
+
+
+@pytest.fixture()
+def person(store):
+    return store.add_document("person", PERSON)
+
+
+class TestShred:
+    def test_node_count(self, person):
+        # doc + 11 elements + 8 text nodes
+        assert len(person) == 20
+        person.check_invariants()
+
+    def test_document_node(self, person):
+        assert person.kind[0] == DOC
+        assert person.size[0] == 19
+        assert person.level[0] == 0
+
+    def test_pre_size_level(self, person):
+        root = person.root_element()
+        assert person.name_of(root) == "person"
+        assert person.size[root] == 18
+        names = [person.name_of(c) for c in person.children(root)]
+        assert names == ["name", "birthday", "age", "weight"]
+
+    def test_text_nodes(self, person):
+        texts = [
+            person.text_of(p)
+            for p in range(len(person))
+            if person.kind[p] == TEXT
+        ]
+        assert texts == ["Arthur", "Dent", "1966-09-26", "4", "2", "78", ".", "230"]
+
+    def test_nids_unique_and_mapped(self, person):
+        for pre, nid in enumerate(person.nid):
+            assert person.pre_of(nid) == pre
+
+    def test_source_bytes(self, person):
+        assert person.source_bytes == len(PERSON.encode())
+
+    def test_attributes_in_plane(self, store):
+        doc = store.add_document("attrs", '<a x="1" y="2"><b z="3"/></a>')
+        doc.check_invariants()
+        kinds = [doc.kind[p] for p in range(len(doc))]
+        assert kinds == [DOC, ELEM, ATTR, ATTR, ELEM, ATTR]
+        a = doc.root_element()
+        assert [doc.name_of(p) for p in doc.attributes(a)] == ["x", "y"]
+        # Child axis skips attributes.
+        assert [doc.name_of(p) for p in doc.children(a)] == ["b"]
+
+    def test_adjacent_text_coalesces(self, store):
+        doc = store.add_document("cdata", "<a>one<![CDATA[two]]>three</a>")
+        texts = [doc.text_of(p) for p in range(len(doc)) if doc.kind[p] == TEXT]
+        assert texts == ["onetwothree"]
+
+    def test_comments_and_pis_kept(self, store):
+        doc = store.add_document("misc", "<a><!--c--><?p d?></a>")
+        kinds = [doc.kind[p] for p in range(len(doc))]
+        assert kinds == [DOC, ELEM, COMMENT, PI]
+        doc.check_invariants()
+
+
+class TestAxes:
+    def test_parent(self, person):
+        root = person.root_element()
+        for child in person.children(root):
+            assert person.parent(child) == root
+        assert person.parent(root) == 0
+        assert person.parent(0) is None
+
+    def test_ancestors(self, person):
+        deepest = next(
+            p
+            for p in range(len(person))
+            if person.kind[p] == TEXT and person.text_of(p) == "230"
+        )
+        chain = [*person.ancestors(deepest)]
+        names = [
+            person.name_of(a) if person.kind[a] == ELEM else "#doc"
+            for a in chain
+        ]
+        assert names[-1] == "#doc"
+        assert "weight" in names or "age" in names
+
+    def test_descendants(self, person):
+        root = person.root_element()
+        assert len(person.descendants(root)) == person.size[root]
+
+    def test_unknown_nid_raises(self, person):
+        with pytest.raises(DocumentError):
+            person.pre_of(10**9)
+
+
+class TestStringValue:
+    def test_text_node(self, person):
+        pre = next(p for p in range(len(person)) if person.kind[p] == TEXT)
+        assert person.string_value(pre) == "Arthur"
+
+    def test_element_concatenation(self, person):
+        root = person.root_element()
+        name = next(iter(person.children(root)))
+        assert person.string_value(name) == "ArthurDent"
+
+    def test_mixed_content(self, person):
+        root = person.root_element()
+        age = [c for c in person.children(root) if person.name_of(c) == "age"][0]
+        assert person.string_value(age) == "42"
+        weight = [
+            c for c in person.children(root) if person.name_of(c) == "weight"
+        ][0]
+        assert person.string_value(weight) == "78.230"
+
+    def test_document_node(self, person):
+        assert person.string_value(0) == "ArthurDent1966-09-264278.230"
+
+    def test_attribute_value(self, store):
+        doc = store.add_document("attrs", '<a x="hello"><b>text</b></a>')
+        attr = next(p for p in range(len(doc)) if doc.kind[p] == ATTR)
+        assert doc.string_value(attr) == "hello"
+        # Attributes do not contribute to the element string value.
+        assert doc.string_value(doc.root_element()) == "text"
+
+    def test_comment_excluded_from_element_value(self, store):
+        doc = store.add_document("c", "<a>x<!--hidden-->y</a>")
+        assert doc.string_value(doc.root_element()) == "xy"
+
+
+class TestSerialize:
+    def test_roundtrip(self, person):
+        assert person.serialize() == PERSON
+
+    def test_roundtrip_with_attrs_and_misc(self, store):
+        xml = '<a x="1&amp;2"><!--c--><b/>text<?p d?></a>'
+        doc = store.add_document("misc", xml)
+        assert doc.serialize() == xml
+
+    def test_subtree(self, person):
+        root = person.root_element()
+        name = next(iter(person.children(root)))
+        assert (
+            person.serialize(name)
+            == "<name><first>Arthur</first><family>Dent</family></name>"
+        )
+
+    def test_escapes_special_chars(self, store):
+        doc = store.add_document("esc", "<a>&lt;&amp;&gt;</a>")
+        assert doc.serialize() == "<a>&lt;&amp;&gt;</a>"
+
+    def test_shred_serialize_shred_fixpoint(self, store, person):
+        again = store.add_document("copy", person.serialize())
+        assert again.serialize() == person.serialize()
+
+
+class TestByteSize:
+    def test_positive_and_monotone(self, store):
+        small = store.add_document("small", "<a>x</a>")
+        large = store.add_document("large", "<a>" + "<b>text</b>" * 50 + "</a>")
+        assert 0 < small.byte_size() < large.byte_size()
+
+    def test_store_totals(self, store, person):
+        assert store.byte_size() == person.byte_size()
+        assert store.total_nodes() == len(person)

@@ -1,0 +1,185 @@
+"""Tests for the store's value and structural update primitives."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.xmldb import ELEM, TEXT, Store
+
+
+@pytest.fixture()
+def store():
+    return Store()
+
+
+@pytest.fixture()
+def doc(store):
+    return store.add_document(
+        "doc", "<a><b>one</b><c><d>two</d>three</c></a>"
+    )
+
+
+def text_nid(doc, content):
+    for pre in range(len(doc)):
+        if doc.kind[pre] == TEXT and doc.text_of(pre) == content:
+            return doc.nid[pre]
+    raise AssertionError(f"no text node {content!r}")
+
+
+def elem_nid(doc, name):
+    for pre in range(len(doc)):
+        if doc.kind[pre] == ELEM and doc.name_of(pre) == name:
+            return doc.nid[pre]
+    raise AssertionError(f"no element {name!r}")
+
+
+class TestUpdateText:
+    def test_basic(self, store, doc):
+        nid = text_nid(doc, "one")
+        store.update_text(nid, "ONE")
+        assert doc.string_value(doc.pre_of(nid)) == "ONE"
+        assert doc.string_value(0) == "ONEtwothree"
+        doc.check_invariants()
+
+    def test_attribute_value(self, store):
+        doc = store.add_document("attrs", '<a x="old"/>')
+        attr_nid = doc.nid[2]
+        store.update_text(attr_nid, "new")
+        assert doc.string_value(2) == "new"
+
+    def test_rejects_element(self, store, doc):
+        with pytest.raises(DocumentError):
+            store.update_text(elem_nid(doc, "b"), "nope")
+
+    def test_rejects_unknown_nid(self, store, doc):
+        with pytest.raises(DocumentError):
+            store.update_text(10**9, "x")
+
+
+class TestDeleteSubtree:
+    def test_delete_leaf_element(self, store, doc):
+        before = len(doc)
+        change = store.delete_subtree(elem_nid(doc, "b"))
+        assert len(doc) == before - 2  # <b> and its text
+        assert len(change.removed_nids) == 2
+        assert doc.string_value(0) == "twothree"
+        doc.check_invariants()
+
+    def test_delete_inner_subtree(self, store, doc):
+        store.delete_subtree(elem_nid(doc, "c"))
+        assert doc.string_value(0) == "one"
+        doc.check_invariants()
+
+    def test_delete_text_node(self, store, doc):
+        store.delete_subtree(text_nid(doc, "three"))
+        assert doc.string_value(0) == "onetwo"
+        doc.check_invariants()
+
+    def test_deleted_nids_are_gone(self, store, doc):
+        nid = elem_nid(doc, "b")
+        store.delete_subtree(nid)
+        with pytest.raises(DocumentError):
+            store.node(nid)
+
+    def test_cannot_delete_document_node(self, store, doc):
+        with pytest.raises(DocumentError):
+            store.delete_subtree(doc.nid[0])
+
+    def test_parent_nid_reported(self, store, doc):
+        change = store.delete_subtree(elem_nid(doc, "d"))
+        assert change.parent_nid == elem_nid(doc, "c")
+
+
+class TestInsertXml:
+    def test_append_element(self, store, doc):
+        change = store.insert_xml(elem_nid(doc, "a"), "<e>four</e>")
+        assert len(change.added_nids) == 2
+        assert doc.string_value(0) == "onetwothreefour"
+        doc.check_invariants()
+
+    def test_insert_before_sibling(self, store, doc):
+        store.insert_xml(
+            elem_nid(doc, "a"), "<z>zero</z>", before_nid=elem_nid(doc, "b")
+        )
+        assert doc.string_value(0) == "zeroonetwothree"
+        root = doc.root_element()
+        assert [doc.name_of(c) for c in doc.children(root)] == [
+            "z",
+            "b",
+            "c",
+        ]
+        doc.check_invariants()
+
+    def test_insert_bare_text(self, store, doc):
+        store.insert_xml(elem_nid(doc, "b"), "!")
+        assert doc.string_value(0) == "one!twothree"
+        doc.check_invariants()
+
+    def test_insert_mixed_fragment(self, store, doc):
+        change = store.insert_xml(elem_nid(doc, "c"), "x<e>y</e>z")
+        assert len(change.added_nids) == 4
+        assert doc.string_value(0) == "onetwothreexyz"
+        doc.check_invariants()
+
+    def test_insert_deep_fragment(self, store, doc):
+        store.insert_xml(elem_nid(doc, "d"), "<p><q>deep</q></p>")
+        assert doc.string_value(doc.pre_of(elem_nid(doc, "d"))) == "twodeep"
+        doc.check_invariants()
+
+    def test_insert_empty_fragment(self, store, doc):
+        before = len(doc)
+        change = store.insert_xml(elem_nid(doc, "a"), "")
+        assert change.added_nids == [] and len(doc) == before
+
+    def test_insert_with_attributes(self, store, doc):
+        store.insert_xml(elem_nid(doc, "a"), '<e k="v"/>')
+        pre = doc.pre_of(elem_nid(doc, "e"))
+        assert [doc.name_of(a) for a in doc.attributes(pre)] == ["k"]
+        doc.check_invariants()
+
+    def test_rejects_insert_under_text(self, store, doc):
+        with pytest.raises(DocumentError):
+            store.insert_xml(text_nid(doc, "one"), "<x/>")
+
+    def test_rejects_foreign_before_nid(self, store, doc):
+        with pytest.raises(DocumentError):
+            store.insert_xml(
+                elem_nid(doc, "a"), "<x/>", before_nid=text_nid(doc, "two")
+            )
+
+    def test_new_nids_resolvable(self, store, doc):
+        change = store.insert_xml(elem_nid(doc, "a"), "<e>four</e>")
+        for nid in change.added_nids:
+            owner, pre = store.node(nid)
+            assert owner is doc
+            assert doc.nid[pre] == nid
+
+
+class TestMultiDocument:
+    def test_independent_nid_spaces(self, store):
+        one = store.add_document("one", "<a>x</a>")
+        two = store.add_document("two", "<b>y</b>")
+        assert set(one.nid).isdisjoint(set(two.nid))
+        store.update_text(text_nid(two, "y"), "Y")
+        assert one.string_value(0) == "x"
+
+    def test_remove_document(self, store):
+        doc = store.add_document("tmp", "<a>x</a>")
+        nid = doc.nid[0]
+        store.remove_document("tmp")
+        with pytest.raises(DocumentError):
+            store.node(nid)
+        with pytest.raises(DocumentError):
+            store.document("tmp")
+
+    def test_duplicate_name_rejected(self, store):
+        store.add_document("dup", "<a/>")
+        with pytest.raises(DocumentError):
+            store.add_document("dup", "<b/>")
+
+
+def test_insert_before_attribute_rejected(store):
+    doc = store.add_document("attrs", '<a x="1"><b/></a>')
+    attr = doc.nid[2]
+    root = doc.nid[1]
+    with pytest.raises(DocumentError):
+        store.insert_xml(root, "<c/>", before_nid=attr)

@@ -1,0 +1,125 @@
+"""Tests for the streaming parser and stream shredding."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XmlSyntaxError
+from repro.xmldb import Store
+from repro.xmldb.parser import parse_events
+from repro.xmldb.streaming import StreamingParser, parse_stream
+from repro.workloads import generate_xmark
+
+SAMPLES = [
+    "<a/>",
+    "<a>text</a>",
+    '<a x="1" y="&amp;"><b>one</b>two<c/>three</a>',
+    "<a><!-- comment --><?pi data?><![CDATA[<raw>&]]></a>",
+    '<?xml version="1.0"?><!DOCTYPE a [<!ENTITY w "hi">]><a>&w;</a>',
+    "  <a>\n  mixed <b>deep<c>er</c></b> tail\n</a>  ",
+]
+
+
+def chunked(xml, size):
+    parser = StreamingParser()
+    events = []
+    for i in range(0, len(xml), size):
+        events.extend(parser.feed(xml[i : i + size]))
+    events.extend(parser.close())
+    return events
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("xml", SAMPLES)
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 64, 10_000])
+    def test_matches_batch_parser(self, xml, size):
+        assert chunked(xml, size) == list(parse_events(xml))
+
+    def test_large_document_all_chunkings(self):
+        xml = generate_xmark(0.1)
+        batch = list(parse_events(xml))
+        for size in (17, 1024, 64 * 1024):
+            assert chunked(xml, size) == batch
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_chunk_sizes(self, size):
+        xml = SAMPLES[2] + ""
+        assert chunked(xml, size) == list(parse_events(xml))
+
+
+class TestErrors:
+    def test_truncated_document(self):
+        parser = StreamingParser()
+        parser.feed("<a><b>unfinished")
+        with pytest.raises(XmlSyntaxError):
+            parser.close()
+
+    def test_truncated_tag(self):
+        parser = StreamingParser()
+        parser.feed("<a")
+        with pytest.raises(XmlSyntaxError, match="unterminated|unclosed|no root"):
+            parser.close()
+
+    def test_mismatched_end_tag_raised_mid_stream(self):
+        parser = StreamingParser()
+        with pytest.raises(XmlSyntaxError, match="mismatched"):
+            parser.feed("<a></b>")
+
+    def test_feed_after_close(self):
+        parser = StreamingParser()
+        parser.feed("<a/>")
+        parser.close()
+        with pytest.raises(XmlSyntaxError):
+            parser.feed("<b/>")
+
+    def test_double_close_is_noop(self):
+        parser = StreamingParser()
+        parser.feed("<a/>")
+        assert parser.close() == []
+        assert parser.close() == []
+
+    def test_no_root(self):
+        parser = StreamingParser()
+        parser.feed("   ")
+        with pytest.raises(XmlSyntaxError, match="no root"):
+            parser.close()
+
+
+class TestStreamShred:
+    def test_parse_stream(self):
+        xml = SAMPLES[2]
+        events = list(parse_stream(io.StringIO(xml), chunk_size=4))
+        assert events == list(parse_events(xml))
+
+    def test_add_document_file(self, tmp_path):
+        xml = generate_xmark(0.05)
+        path = tmp_path / "doc.xml"
+        path.write_text(xml, encoding="utf-8")
+        streamed = Store().add_document_file("doc", str(path))
+        batch = Store().add_document("doc", xml)
+        assert streamed.serialize() == batch.serialize()
+        assert streamed.kind == batch.kind
+        assert streamed.source_bytes == len(xml.encode("utf-8"))
+        streamed.check_invariants()
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        from repro.errors import DocumentError
+
+        path = tmp_path / "doc.xml"
+        path.write_text("<a/>")
+        store = Store()
+        store.add_document_file("doc", str(path))
+        with pytest.raises(DocumentError):
+            store.add_document_file("doc", str(path))
+
+    def test_entity_split_across_chunks(self):
+        xml = "<a>x&amp;y</a>"
+        # Split right inside the entity reference.
+        parser = StreamingParser()
+        events = parser.feed("<a>x&am")
+        events += parser.feed("p;y</a>")
+        events += parser.close()
+        assert ("text", "x&y") in events
