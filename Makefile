@@ -1,0 +1,25 @@
+# Tiered checks for the reproduction.
+#
+#   make test    — tier-1: the full unit/property suite (ROADMAP verify)
+#   make bench   — tier-2: paper experiments + ablations at the default
+#                  bench scale, including the parallel-creation curve
+#                  (emits BENCH_parallel_build.json)
+#   make bench-parallel — just the parallel-creation experiment
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+REPRO_BENCH_SCALE ?= 0.12
+
+.PHONY: test bench bench-parallel
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-parallel:
+	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) \
+	$(PYTHON) -m pytest benchmarks/test_parallel_creation.py \
+	    --benchmark-only

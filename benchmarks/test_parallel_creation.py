@@ -1,0 +1,96 @@
+"""Parallel index creation — correctness at scale and the speedup curve.
+
+Per dataset: a full :class:`IndexManager` build through the chunked
+pooled pass must pass ``check_consistency`` (bit-for-bit equality with
+a serial rebuild), and the speedup report of
+:mod:`repro.bench.parallel` is emitted as ``BENCH_parallel_build.json``
+(serial vs. 2/4/8 workers).
+
+The speedup *shape* assertion (>= 1.5x at 4 workers, process backend)
+only applies when the machine actually has 4 cores to run on; the JSON
+records ``cores_available`` so downstream readers can judge the curve.
+On a single-core runner the parallel pass is still exercised end to
+end — correctness is asserted unconditionally.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.parallel import (
+    JSON_PATH,
+    WORKER_COUNTS,
+    format_report,
+    run,
+    write_json,
+)
+from repro.core import IndexManager
+from repro.core.parallel import build_document_parallel, resolve_workers
+from repro.core.string_index import StringIndex
+from repro.core.typed_index import TypedIndex
+
+from conftest import DATASET_NAMES
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_consistency_after_parallel_build(dataset_xml, name, backend):
+    manager = IndexManager(parallel=4, parallel_backend=backend)
+    manager.load(name, dataset_xml[name])
+    manager.check_consistency()
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_parallel_creation_time(benchmark, dataset_docs, name):
+    doc = dataset_docs[name]
+    workers = min(4, resolve_workers("auto"))
+
+    def build():
+        indexes = [StringIndex(), TypedIndex("double")]
+        build_document_parallel(doc, indexes, workers=workers,
+                                backend="process")
+        return indexes
+
+    string, _typed = benchmark(build)
+    assert len(string) == len(doc)
+
+
+def test_parallel_speedup_report(benchmark, scale, capsys):
+    backend = os.environ.get("REPRO_PARALLEL_BACKEND", "process")
+    results = benchmark.pedantic(
+        lambda: run(scale=scale, backend=backend, repeats=1),
+        rounds=1, iterations=1,
+    )
+    assert {r.name for r in results} == set(DATASET_NAMES)
+    payload = write_json(results, backend=backend, scale=scale)
+
+    # The JSON contract CI and EXPERIMENTS.md consume.
+    assert os.path.exists(JSON_PATH)
+    with open(JSON_PATH, encoding="utf-8") as fh:
+        on_disk = json.load(fh)
+    assert on_disk == payload
+    assert on_disk["bench"] == "parallel_build"
+    assert sorted(on_disk["workers"]) == sorted(WORKER_COUNTS)
+    for name in DATASET_NAMES:
+        entry = on_disk["datasets"][name]
+        assert entry["serial_seconds"] > 0
+        for count in WORKER_COUNTS:
+            assert entry["parallel_seconds"][str(count)] > 0
+
+    # Speedup shape, where the hardware can show it: with >= 4 cores
+    # the 4-worker process build must beat serial by 1.5x overall.
+    cores = on_disk["cores_available"]
+    aggregate = on_disk["aggregate"]["speedup"]
+    if cores >= 4 and backend == "process":
+        assert aggregate["4"] >= 1.5, aggregate
+    with capsys.disabled():
+        print()
+        print(f"Parallel creation speedup ({backend} backend, "
+              f"{cores} core(s) available)")
+        print(format_report(results))
+        curve = ", ".join(
+            f"{count}w: {aggregate[str(count)]:.2f}x"
+            for count in on_disk["workers"]
+        )
+        print(f"aggregate speedup — {curve}")

@@ -1,0 +1,177 @@
+"""Parallel index-creation speedup (serial vs. pooled chunked build).
+
+Per catalog dataset: time the serial Figure 7 creation pass (string +
+double index) next to the chunked pass of
+:mod:`repro.core.parallel` at several worker counts, and emit the
+speedup curve both as a table and as ``BENCH_parallel_build.json``
+(consumed by CI and EXPERIMENTS.md).
+
+Worker pools are warmed before timing — pool creation is a one-off
+cost in a long-lived server, not part of the creation pass.  The
+speedup ceiling is ``min(workers, cores_available)``; the JSON records
+the core count so readers can judge the curve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..core.builder import build_document
+from ..core.parallel import build_document_parallel, resolve_workers
+from ..core.string_index import StringIndex
+from ..core.typed_index import TypedIndex
+from ..workloads import DATASETS, bench_scale
+from ..xmldb import Store
+from .harness import measure_seconds, render_table
+
+__all__ = ["ParallelResult", "run", "write_json", "format_report", "main"]
+
+#: Worker counts of the reported curve.
+WORKER_COUNTS = (2, 4, 8)
+
+#: Default output path (cwd, like the printed reports).
+JSON_PATH = "BENCH_parallel_build.json"
+
+
+@dataclass
+class ParallelResult:
+    """Creation timings for one dataset."""
+
+    name: str
+    nodes: int
+    serial_seconds: float
+    parallel_seconds: dict[int, float] = field(default_factory=dict)
+
+    def speedup(self, workers: int) -> float:
+        return self.serial_seconds / self.parallel_seconds[workers]
+
+
+def _fresh_indexes() -> list:
+    return [StringIndex(), TypedIndex("double")]
+
+
+def run(
+    scale: float | None = None,
+    workers: tuple[int, ...] = WORKER_COUNTS,
+    backend: str = "process",
+    repeats: int = 3,
+) -> list[ParallelResult]:
+    """Measure serial vs. parallel creation over all catalog datasets."""
+    if scale is None:
+        scale = bench_scale()
+    docs = {
+        name: Store().add_document(name, spec.build(scale))
+        for name, spec in DATASETS.items()
+    }
+    # Warm every pool outside the timed region (fork cost is one-off).
+    smallest = min(docs.values(), key=len)
+    for count in workers:
+        build_document_parallel(
+            smallest, _fresh_indexes(), workers=count, backend=backend
+        )
+    results = []
+    for name, doc in docs.items():
+        serial, _ = measure_seconds(
+            lambda: build_document(doc, _fresh_indexes()), repeats=repeats
+        )
+        result = ParallelResult(name, len(doc), serial)
+        for count in workers:
+            seconds, _ = measure_seconds(
+                lambda: build_document_parallel(
+                    doc, _fresh_indexes(), workers=count, backend=backend
+                ),
+                repeats=repeats,
+            )
+            result.parallel_seconds[count] = seconds
+        results.append(result)
+    return results
+
+
+def write_json(
+    results: list[ParallelResult],
+    path: str = JSON_PATH,
+    backend: str = "process",
+    scale: float | None = None,
+) -> dict:
+    """Serialise the speedup curve (returns the written payload)."""
+    if scale is None:
+        scale = bench_scale()
+    worker_counts = sorted(
+        {count for r in results for count in r.parallel_seconds}
+    )
+    total_serial = sum(r.serial_seconds for r in results)
+    payload = {
+        "bench": "parallel_build",
+        "scale": scale,
+        "backend": backend,
+        "cores_available": resolve_workers("auto"),
+        "workers": worker_counts,
+        "datasets": {
+            r.name: {
+                "nodes": r.nodes,
+                "serial_seconds": r.serial_seconds,
+                "parallel_seconds": {
+                    str(count): r.parallel_seconds[count]
+                    for count in worker_counts
+                },
+                "speedup": {
+                    str(count): r.speedup(count) for count in worker_counts
+                },
+            }
+            for r in results
+        },
+        "aggregate": {
+            "serial_seconds": total_serial,
+            "parallel_seconds": {
+                str(count): sum(r.parallel_seconds[count] for r in results)
+                for count in worker_counts
+            },
+            "speedup": {
+                str(count): total_serial
+                / sum(r.parallel_seconds[count] for r in results)
+                for count in worker_counts
+            },
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def format_report(results: list[ParallelResult]) -> str:
+    worker_counts = sorted(
+        {count for r in results for count in r.parallel_seconds}
+    )
+    headers = ["dataset", "nodes", "serial ms"] + [
+        f"{count}w ms (x)" for count in worker_counts
+    ]
+    rows = []
+    for r in results:
+        row = [r.name, f"{r.nodes:,}", f"{r.serial_seconds * 1e3:.1f}"]
+        row += [
+            f"{r.parallel_seconds[count] * 1e3:.1f} ({r.speedup(count):.2f})"
+            for count in worker_counts
+        ]
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def main() -> None:
+    backend = os.environ.get("REPRO_PARALLEL_BACKEND", "process")
+    results = run(backend=backend)
+    print(f"Parallel creation speedup ({backend} backend, "
+          f"{resolve_workers('auto')} core(s) available)")
+    print(format_report(results))
+    payload = write_json(results, backend=backend)
+    agg = payload["aggregate"]["speedup"]
+    curve = ", ".join(f"{count}w: {agg[str(count)]:.2f}x" for count in
+                      payload["workers"])
+    print(f"aggregate speedup — {curve}")
+    print(f"wrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -211,6 +211,29 @@ class BPlusTree:
             self._root = self._root.children[0]
             self._height -= 1
 
+    def remove_many(self, keys: Iterable[Any]) -> int:
+        """Remove many keys at once; returns the number removed.
+
+        For small batches this loops :meth:`delete`; past ~1/4 of the
+        tree it filters the leaf chain once and rebuilds by bulk load —
+        O(n) instead of O(m log n), the difference between unloading a
+        document per-entry and in one pass.
+        """
+        drop = keys if isinstance(keys, set) else set(keys)
+        if not drop or self._size == 0:
+            return 0
+        if len(drop) * 4 < self._size:
+            removed = 0
+            for key in drop:
+                if self.delete(key):
+                    removed += 1
+            return removed
+        survivors = [item for item in self.items() if item[0] not in drop]
+        removed = self._size - len(survivors)
+        if removed:
+            self.bulk_load(survivors)
+        return removed
+
     # ------------------------------------------------------------------
     # Range scans
     # ------------------------------------------------------------------

@@ -41,13 +41,28 @@ def _describe(manager, nid: int) -> str:
     return f"  nid {nid} [{doc.name}] {label}"
 
 
-def _open(path: str) -> Database:
+def _parse_parallel(value: str | None) -> int | str | None:
+    """CLI form of the parallel knob: None, "auto" or a worker count."""
+    if value is None or value == "none":
+        return None
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise ReproError(
+            f"--parallel expects a worker count or 'auto', got {value!r}"
+        ) from None
+
+
+def _open(path: str, parallel: int | str | None = None,
+          parallel_backend: str = "process") -> Database:
     """Open an existing database (WAL recovery included)."""
     import os
 
     if not os.path.exists(os.path.join(path, "MANIFEST.json")):
         raise ReproError(f"no database at {path!r}; run 'init' first")
-    db = Database(path)
+    db = Database(path, parallel=parallel, parallel_backend=parallel_backend)
     if db.recovered_records:
         print(f"(recovered {db.recovered_records} update(s) from the WAL)")
     return db
@@ -65,7 +80,8 @@ def cmd_init(args) -> int:
 
 
 def cmd_load(args) -> int:
-    with _open(args.db) as db:
+    with _open(args.db, _parse_parallel(args.parallel),
+               args.parallel_backend) as db:
         with open(args.file, encoding="utf-8") as fh:
             xml = fh.read()
         doc = db.load(args.name, xml)
@@ -79,7 +95,8 @@ def cmd_generate(args) -> int:
         print(f"unknown dataset {args.dataset!r}; one of {sorted(DATASETS)}",
               file=sys.stderr)
         return 2
-    with _open(args.db) as db:
+    with _open(args.db, _parse_parallel(args.parallel),
+               args.parallel_backend) as db:
         doc = db.load(args.dataset, spec.build(args.scale))
     print(f"generated {args.dataset}: {len(doc):,} nodes")
     return 0
@@ -159,13 +176,14 @@ def cmd_verify(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .bench import figure9, figure10, figure11, table1
+    from .bench import figure9, figure10, figure11, parallel, table1
 
     module = {
         "table1": table1,
         "figure9": figure9,
         "figure10": figure10,
         "figure11": figure11,
+        "parallel": parallel,
     }[args.experiment]
     module.main()
     return 0
@@ -192,12 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.add_argument("name")
     p.add_argument("file")
+    _add_parallel_options(p)
     p.set_defaults(fn=cmd_load)
 
     p = sub.add_parser("generate", help="generate a catalog dataset")
     p.add_argument("db")
     p.add_argument("dataset")
     p.add_argument("--scale", type=float, default=0.1)
+    _add_parallel_options(p)
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("stats", help="Table 1 statistics per document")
@@ -242,9 +262,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
-                   choices=["table1", "figure9", "figure10", "figure11"])
+                   choices=["table1", "figure9", "figure10", "figure11",
+                            "parallel"])
     p.set_defaults(fn=cmd_bench)
     return parser
+
+
+def _add_parallel_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--parallel", default=None, metavar="N|auto",
+                   help="parallel index creation: worker count or 'auto'")
+    p.add_argument("--parallel-backend", default="process",
+                   choices=["process", "thread"],
+                   help="worker pool backend for --parallel")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -44,6 +44,8 @@ class ValueIndex(Protocol):
 
     def remove_entry(self, nid: int) -> None: ...
 
+    def remove_entries(self, nids: Sequence[int]) -> int: ...
+
     def field_of(self, nid: int) -> object: ...
 
 
@@ -53,13 +55,20 @@ def compute_fields(
     end: int,
     indexes: Sequence[ValueIndex],
     bulk: bool,
-) -> None:
+) -> list[object]:
     """Compute and store fields for all rows in ``[start, end]``.
 
     The range must cover complete subtrees (as pre ranges of siblings
     do).  With ``bulk`` the entries are staged for bulk-loading
     (creation); otherwise they go through ``set_entry`` (structural
     updates over freshly inserted subtrees).
+
+    Returns, per index, the *contribution* of the whole range: the
+    fold under ``C``/the SCT of the fields of the range's top-level
+    element and text subtrees, in document order.  Because the
+    combination functions are associative, a parent whose children were
+    computed over several ranges recovers its exact field by folding
+    the per-range contributions (see :mod:`repro.core.parallel`).
     """
     kinds = doc.kind
     sizes = doc.size
@@ -84,25 +93,29 @@ def compute_fields(
             fields = [field_of_text(text) for text in leaf_texts]
         leaf_fields.append(dict(zip(leaf_pres, fields)))
     if k == 1:
-        _compute_fields_single(
-            doc, start, end, indexes[0], enter[0], leaf_fields[0]
-        )
-        return
+        return [
+            _compute_fields_single(
+                doc, start, end, indexes[0], enter[0], leaf_fields[0]
+            )
+        ]
     # Stack frames: (subtree_end_pre, nid, [accumulator per index]).
-    stack: list[tuple[int, int, list]] = []
+    # The bottom frame is a sentinel (nid None) accumulating the
+    # contribution of the range's top-level subtrees.
+    stack: list[tuple[int, int | None, list]] = [
+        (end, None, [index.identity for index in indexes])
+    ]
     pre = start
-    while pre <= end or stack:
+    while pre <= end or len(stack) > 1:
         # Close finished containers before (or after) advancing.
-        while stack and (pre > end or pre > stack[-1][0]):
+        while len(stack) > 1 and (pre > end or pre > stack[-1][0]):
             _closed_end, nid, fields = stack.pop()
             for i in range(k):
                 enter[i](nid, fields[i])
-            if stack:
-                parent_fields = stack[-1][2]
-                for i in range(k):
-                    parent_fields[i] = indexes[i].combine(
-                        parent_fields[i], fields[i]
-                    )
+            parent_fields = stack[-1][2]
+            for i in range(k):
+                parent_fields[i] = indexes[i].combine(
+                    parent_fields[i], fields[i]
+                )
         if pre > end:
             break
         kind = kinds[pre]
@@ -111,18 +124,18 @@ def compute_fields(
                 (pre + sizes[pre], nids[pre], [index.identity for index in indexes])
             )
         elif kind == TEXT:
+            fields = stack[-1][2]
             for i in range(k):
                 field = leaf_fields[i][pre]
                 enter[i](nids[pre], field)
-                if stack:
-                    fields = stack[-1][2]
-                    fields[i] = indexes[i].combine(fields[i], field)
+                fields[i] = indexes[i].combine(fields[i], field)
         elif kind == ATTR:
             # Indexed on its own value; no contribution to the parent.
             for i in range(k):
                 enter[i](nids[pre], leaf_fields[i][pre])
         # COMMENT/PI: not indexed, nothing contributed.
         pre += 1
+    return stack[0][2]
 
 
 def _compute_fields_single(
@@ -132,23 +145,27 @@ def _compute_fields_single(
     index: ValueIndex,
     enter,
     leaf_fields: dict[int, object],
-) -> None:
+) -> object:
     """Single-index fast path of :func:`compute_fields` (identical
-    traversal, no per-index inner loops — index creation is hot)."""
+    traversal, no per-index inner loops — index creation is hot).
+
+    Returns the range's contribution (see :func:`compute_fields`).
+    """
     kinds = doc.kind
     sizes = doc.size
     nids = doc.nid
     combine = index.combine
     identity = index.identity
-    stack: list[list] = []  # [subtree_end_pre, nid, accumulator]
+    # [subtree_end_pre, nid, accumulator]; bottom frame is a sentinel
+    # (nid None) accumulating the range's top-level contribution.
+    stack: list[list] = [[end, None, identity]]
     pre = start
-    while pre <= end or stack:
-        while stack and (pre > end or pre > stack[-1][0]):
+    while pre <= end or len(stack) > 1:
+        while len(stack) > 1 and (pre > end or pre > stack[-1][0]):
             _closed_end, nid, field = stack.pop()
             enter(nid, field)
-            if stack:
-                top = stack[-1]
-                top[2] = combine(top[2], field)
+            top = stack[-1]
+            top[2] = combine(top[2], field)
         if pre > end:
             break
         kind = kinds[pre]
@@ -157,12 +174,12 @@ def _compute_fields_single(
         elif kind == TEXT:
             field = leaf_fields[pre]
             enter(nids[pre], field)
-            if stack:
-                top = stack[-1]
-                top[2] = combine(top[2], field)
+            top = stack[-1]
+            top[2] = combine(top[2], field)
         elif kind == ATTR:
             enter(nids[pre], leaf_fields[pre])
         pre += 1
+    return stack[0][2]
 
 
 def build_document(doc: Document, indexes: Sequence[ValueIndex]) -> None:

@@ -18,13 +18,17 @@ import re
 from ..errors import IndexError_
 from ..xmldb.document import ATTR, TEXT, Document
 from ..xmldb.store import Store, StructuralChange
-from .builder import ValueIndex, build_document
+from .builder import ValueIndex, build_document, compute_fields
+from .parallel import AUTO_MIN_ROWS, compute_fields_parallel, resolve_workers
 from .string_index import StringIndex
 from .substring_index import SubstringIndex
 from .typed_index import TypedIndex
 from .updater import apply_structural_change, apply_text_updates
 
 __all__ = ["IndexManager"]
+
+#: Per-call default: "use the manager's configured ``parallel`` knob".
+_DEFAULT = object()
 
 
 class IndexManager:
@@ -35,6 +39,12 @@ class IndexManager:
         string: Build the string equality index.
         typed: XML type names to build range indices for.
         order: B-tree order for all index trees.
+        parallel: Default creation-pass parallelism — ``None`` (serial),
+            ``"auto"`` (available CPUs, skipping small documents) or a
+            worker count.  Per-call overrides exist on the build
+            methods; updates are always serial (they touch few nodes).
+        parallel_backend: ``"process"`` (default) or ``"thread"``; see
+            :mod:`repro.core.parallel`.
     """
 
     def __init__(
@@ -45,6 +55,8 @@ class IndexManager:
         substring: bool = False,
         substring_q: int = 3,
         order: int = 64,
+        parallel: int | str | None = None,
+        parallel_backend: str = "process",
     ):
         self.store = store if store is not None else Store()
         self.string_index: StringIndex | None = (
@@ -57,7 +69,12 @@ class IndexManager:
             SubstringIndex(q=substring_q) if substring else None
         )
         self._order = order
+        self.parallel = parallel
+        self.parallel_backend = parallel_backend
         self._statistics_cache: dict[str, object] = {}
+        # name -> value-leaf nids, pre order (scan fallback for
+        # substring/regex lookups; invalidated on structural changes).
+        self._leaf_nids_cache: dict[str, list[int]] = {}
 
     @property
     def indexes(self) -> list[ValueIndex]:
@@ -77,32 +94,71 @@ class IndexManager:
             )
         return index
 
-    def add_typed_index(self, type_name: str) -> TypedIndex:
+    def add_typed_index(
+        self, type_name: str, parallel: int | str | None = _DEFAULT
+    ) -> TypedIndex:
         """Create (and build) an additional typed index."""
         if type_name in self.typed_indexes:
             raise IndexError_(f"typed index {type_name!r} already exists")
         index = TypedIndex(type_name, order=self._order)
         self.typed_indexes[type_name] = index
+        index.begin_bulk()
         for doc in self.store.documents.values():
-            build_document(doc, [index])
+            self._compute_document(doc, [index], parallel)
+        index.finish_bulk()
         return index
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
-    def load(self, name: str, xml: str) -> Document:
+    def _build_workers(self, doc: Document, parallel) -> int:
+        """Resolve a per-call/configured knob to a worker count for
+        ``doc`` (0 = serial).  ``"auto"`` skips small documents, where
+        pool dispatch costs more than the pass itself."""
+        knob = self.parallel if parallel is _DEFAULT else parallel
+        if knob == "auto" and len(doc) < AUTO_MIN_ROWS:
+            return 0
+        return resolve_workers(knob)
+
+    def _compute_document(
+        self, doc: Document, indexes: list[ValueIndex], parallel
+    ) -> None:
+        """One Figure 7 pass over ``doc`` (serial or chunked/pooled)."""
+        if not indexes:
+            return
+        workers = self._build_workers(doc, parallel)
+        if workers <= 0:
+            compute_fields(doc, 0, len(doc) - 1, indexes, bulk=True)
+        else:
+            compute_fields_parallel(
+                doc, indexes, workers, backend=self.parallel_backend
+            )
+
+    def _build_document(self, doc: Document, parallel) -> None:
+        indexes = self.indexes
+        for index in indexes:
+            index.begin_bulk()
+        self._compute_document(doc, indexes, parallel)
+        for index in indexes:
+            index.finish_bulk()
+        self._substring_add_range(doc, 0, len(doc) - 1)
+        self._leaf_nids_cache.pop(doc.name, None)
+
+    def load(
+        self, name: str, xml: str, parallel: int | str | None = _DEFAULT
+    ) -> Document:
         """Shred a document and index it (shred + Figure 7 pass)."""
         doc = self.store.add_document(name, xml)
-        build_document(doc, self.indexes)
-        self._substring_add_range(doc, 0, len(doc) - 1)
+        self._build_document(doc, parallel)
         return doc
 
-    def load_events(self, name: str, events) -> Document:
+    def load_events(
+        self, name: str, events, parallel: int | str | None = _DEFAULT
+    ) -> Document:
         """Shred a pre-parsed event stream and index it."""
         doc = self.store.add_document_events(name, events)
-        build_document(doc, self.indexes)
-        self._substring_add_range(doc, 0, len(doc) - 1)
+        self._build_document(doc, parallel)
         return doc
 
     def _substring_add_range(self, doc: Document, start: int, end: int) -> None:
@@ -113,27 +169,27 @@ class IndexManager:
             if doc.kind[pre] in (TEXT, ATTR):
                 set_entry(doc.nid[pre], doc.text_of(pre))
 
-    def build_all(self) -> None:
+    def build_all(self, parallel: int | str | None = _DEFAULT) -> None:
         """(Re)build all indices over all documents already in the store."""
         for index in self.indexes:
             index.begin_bulk()
-        from .builder import compute_fields
-
         for doc in self.store.documents.values():
-            compute_fields(doc, 0, len(doc) - 1, self.indexes, bulk=True)
+            self._compute_document(doc, self.indexes, parallel)
             self._substring_add_range(doc, 0, len(doc) - 1)
         for index in self.indexes:
             index.finish_bulk()
 
     def unload(self, name: str) -> None:
-        """Drop a document and all its index entries."""
+        """Drop a document and all its index entries (one bulk pass per
+        index instead of one tree descent per node)."""
         doc = self.store.document(name)
-        for nid in doc.nid:
-            for index in self.indexes:
-                index.remove_entry(nid)
-            if self.substring_index is not None:
-                self.substring_index.remove_entry(nid)
+        nids = doc.nid
+        for index in self.indexes:
+            index.remove_entries(nids)
+        if self.substring_index is not None:
+            self.substring_index.remove_entries(nids)
         self.store.remove_document(name)
+        self._leaf_nids_cache.pop(name, None)
 
     # ------------------------------------------------------------------
     # Updates
@@ -202,6 +258,7 @@ class IndexManager:
         self.store.rename(nid, new_name)
 
     def _substring_apply_change(self, change: StructuralChange) -> None:
+        self._leaf_nids_cache.pop(change.document.name, None)
         if self.substring_index is None:
             return
         for nid in change.removed_nids:
@@ -255,25 +312,38 @@ class IndexManager:
         """The k largest (or smallest) typed values with their nodes."""
         return self.typed_index(type_name).top_values(k, largest=largest)
 
+    def _leaf_nids_of(self, doc: Document) -> list[int]:
+        """Value-leaf nids of one document, pre order (cached; the
+        cache entry is dropped whenever the document's node set
+        changes, so scans never re-walk an unchanged document)."""
+        cached = self._leaf_nids_cache.get(doc.name)
+        if cached is None:
+            kinds = doc.kind
+            cached = [
+                doc.nid[pre]
+                for pre in range(len(doc))
+                if kinds[pre] in (TEXT, ATTR)
+            ]
+            self._leaf_nids_cache[doc.name] = cached
+        return cached
+
     def _all_leaf_nids(self) -> Iterator[int]:
         for doc in self.store.documents.values():
-            for pre in range(len(doc)):
-                if doc.kind[pre] in (TEXT, ATTR):
-                    yield doc.nid[pre]
+            yield from self._leaf_nids_of(doc)
 
     def lookup_contains(self, needle: str) -> Iterator[int]:
         """Value-leaf nids whose own text contains ``needle``.
 
-        Uses the q-gram substring index when available and the needle
-        is long enough; otherwise scans all leaves.  Results are always
-        verified (exact).
+        Uses the q-gram substring index when it can prune (needle at
+        least ``q`` long); otherwise falls back to the cached leaf
+        scan.  Index candidates are sorted so results are emitted in a
+        deterministic order either way, and always verified (exact).
         """
         candidates: Iterable[int] | None = None
         if self.substring_index is not None:
-            candidates = self.substring_index.candidates(needle)
-            if candidates is not None and len(needle) >= self.substring_index.q:
-                # Short leaves cannot contain a needle >= q anyway.
-                candidates = sorted(candidates)
+            pruned = self.substring_index.candidates(needle)
+            if pruned is not None:
+                candidates = sorted(pruned)
         if candidates is None:
             candidates = self._all_leaf_nids()
         for nid in candidates:

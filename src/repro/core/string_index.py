@@ -66,6 +66,12 @@ class StringIndex:
         self.hash_of[nid] = field
         self._staged.append((field, nid))
 
+    def stage_entries(self, pairs: list[tuple[int, int]]) -> None:
+        """Batch form of :meth:`stage_entry` over ``(nid, field)`` runs
+        (parallel-build replay); same effect, C-level loops."""
+        self.hash_of.update(pairs)
+        self._staged.extend((field, nid) for nid, field in pairs)
+
     def finish_bulk(self) -> None:
         """Sort staged entries and bulk-load the B-tree.
 
@@ -100,6 +106,24 @@ class StringIndex:
         if old is not None:
             self.tree.delete((old, nid))
             self.mutations += 1
+
+    def remove_entries(self, nids) -> int:
+        """Bulk form of :meth:`remove_entry` (document unload).
+
+        Pops all stored hashes first, then drops the tree keys in one
+        :meth:`~repro.btree.BPlusTree.remove_many` pass instead of one
+        tree descent per node.  Returns the number of entries removed.
+        """
+        keys = []
+        hash_of = self.hash_of
+        for nid in nids:
+            old = hash_of.pop(nid, None)
+            if old is not None:
+                keys.append((old, nid))
+        if keys:
+            self.tree.remove_many(keys)
+            self.mutations += len(keys)
+        return len(keys)
 
     def field_of(self, nid: int):
         """Stored field of a node; ``None`` if the node is not indexed."""

@@ -170,6 +170,26 @@ class SubstringIndex:
                     del self._postings[gram]
         self._short.discard(nid)
 
+    def remove_entries(self, nids) -> int:
+        """Bulk form of :meth:`remove_entry` (document unload).
+
+        Collects the union of dropped grams first and prunes each
+        posting list once, instead of per-nid discards.
+        """
+        drop = [nid for nid in nids if nid in self._grams_of or nid in self._short]
+        dropped = set(drop)
+        touched: set[int] = set()
+        for nid in drop:
+            touched |= self._grams_of.pop(nid, set())
+            self._short.discard(nid)
+        for gram in touched:
+            postings = self._postings.get(gram)
+            if postings is not None:
+                postings -= dropped
+                if not postings:
+                    del self._postings[gram]
+        return len(drop)
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -69,6 +69,16 @@ class TypedIndex:
             self._value_of[nid] = value
             self._staged.append((value, nid))
 
+    def is_stored_field(self, field: Fragment) -> bool:
+        """True iff staging ``field`` would store anything (parallel
+        chunk workers drop rejected entries before shipping them)."""
+        return field.state != 0
+
+    def stage_entries(self, pairs: list[tuple[int, Fragment]]) -> None:
+        """Batch form of :meth:`stage_entry` over ``(nid, field)`` runs."""
+        for nid, field in pairs:
+            self.stage_entry(nid, field)
+
     def finish_bulk(self) -> None:
         """Bulk-load the value tree, merging entries of earlier loads."""
         staged = self._staged
@@ -102,6 +112,29 @@ class TypedIndex:
         old_value = self._value_of.pop(nid, None)
         if old_value is not None:
             self.tree.delete((old_value, nid))
+
+    def remove_entries(self, nids) -> int:
+        """Bulk form of :meth:`remove_entry` (document unload).
+
+        Drops all side-structure entries and removes the value-tree
+        keys in one :meth:`~repro.btree.BPlusTree.remove_many` pass.
+        Returns the number of nodes that had a stored state.
+        """
+        keys = []
+        removed = 0
+        fragment_of_node = self.fragment_of_node
+        value_of = self._value_of
+        for nid in nids:
+            if fragment_of_node.pop(nid, None) is not None:
+                removed += 1
+            old_value = value_of.pop(nid, None)
+            if old_value is not None:
+                keys.append((old_value, nid))
+        if keys:
+            self.tree.remove_many(keys)
+        if removed or keys:
+            self.mutations += max(removed, len(keys))
+        return removed
 
     def field_of(self, nid: int) -> Fragment:
         """Stored fragment of a node (REJECT for absent entries)."""

@@ -52,6 +52,10 @@ class Database:
         checkpoint_every: Auto-checkpoint after this many logged
             updates (0 disables; explicit :meth:`checkpoint` always
             works).
+        parallel: Creation-pass parallelism for :meth:`load` — ``None``
+            (serial), ``"auto"`` or a worker count (see
+            :mod:`repro.core.parallel`).
+        parallel_backend: ``"process"`` (default) or ``"thread"``.
     """
 
     def __init__(
@@ -62,6 +66,8 @@ class Database:
         substring: bool = False,
         sync: str = "flush",
         checkpoint_every: int = 10_000,
+        parallel: int | str | None = None,
+        parallel_backend: str = "process",
     ):
         self.path = path
         self._checkpoint_every = checkpoint_every
@@ -84,6 +90,8 @@ class Database:
             )
             save_manager(self.manager, path)
             self.recovered_records = 0
+        self.manager.parallel = parallel
+        self.manager.parallel_backend = parallel_backend
         self._wal = WriteAheadLog(wal_path, sync=sync)
         if self.recovered_records:
             self._wal.truncate()
