@@ -1,6 +1,9 @@
 # Tiered checks for the reproduction.
 #
-#   make test    — tier-1: the full unit/property suite (ROADMAP verify)
+#   make test    — tier-1: lint (when ruff is available) + the full
+#                  unit/property suite (ROADMAP verify)
+#   make lint    — ruff over src/ (config in pyproject.toml); skipped
+#                  with a notice when ruff is not installed
 #   make bench   — tier-2: paper experiments + ablations at the default
 #                  bench scale, including the parallel-creation curve
 #                  (emits BENCH_parallel_build.json)
@@ -10,9 +13,16 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 REPRO_BENCH_SCALE ?= 0.12
 
-.PHONY: test bench bench-parallel
+.PHONY: test lint bench bench-parallel
 
-test:
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
+
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 bench:

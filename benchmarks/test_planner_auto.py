@@ -73,3 +73,21 @@ def test_auto_tracks_the_better_plan(benchmark, manager):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print("\nPlanner auto mode (best of 3):")
     print("\n".join(lines))
+
+
+def test_repeated_queries_hit_plan_cache(benchmark, manager):
+    """Acceptance: identical queries replan once per index epoch."""
+    counters = manager.metrics.snapshot()["counters"]
+    before_hits = counters.get("query.plan_cache.hits", 0)
+    before_misses = counters.get("query.plan_cache.misses", 0)
+
+    def repeat():
+        for _ in range(10):
+            query(manager, SELECTIVE, use_indexes="auto")
+
+    benchmark.pedantic(repeat, rounds=1, iterations=1)
+    counters = manager.metrics.snapshot()["counters"]
+    # At most one fresh plan for this (query, doc, mode) key; every
+    # other execution must reuse it.
+    assert counters["query.plan_cache.misses"] - before_misses <= 1
+    assert counters["query.plan_cache.hits"] - before_hits >= 9

@@ -111,13 +111,28 @@ def cmd_stats(args) -> int:
         for name, size in db.manager.index_sizes().items():
             print(f"  {name:>10}: {size:,}")
         print(f"  {'database':>10}: {db.store.byte_size():,}")
+        metrics = db.metrics()
+        if metrics["counters"]:
+            print("\nruntime counters:")
+            for name, value in metrics["counters"].items():
+                print(f"  {name:>24}: {value:,}")
+        if metrics["timers"]:
+            print("\nruntime timers:")
+            for name, timer in metrics["timers"].items():
+                print(
+                    f"  {name:>24}: n={timer['count']:,} "
+                    f"mean={timer['mean_s'] * 1000:.3f}ms "
+                    f"max={timer['max_s'] * 1000:.3f}ms"
+                )
     return 0
 
 
 def cmd_query(args) -> int:
     manager = _open(args.db)
     if args.explain:
-        print(f"plan: {manager.explain(args.xpath)}")
+        explanation = manager.explain(args.xpath)
+        print(f"plan: {explanation}")
+        print(explanation.tree())
     hits = manager.query(args.xpath, use_indexes=not args.no_index)
     print(f"{len(hits)} hit(s)")
     for nid in hits[: args.limit]:

@@ -16,9 +16,10 @@ from typing import Any, Iterable, Iterator
 import re
 
 from ..errors import IndexError_
+from ..obs import MetricsRegistry
 from ..xmldb.document import ATTR, TEXT, Document
 from ..xmldb.store import Store, StructuralChange
-from .builder import ValueIndex, build_document, compute_fields
+from .builder import ValueIndex, compute_fields
 from .parallel import AUTO_MIN_ROWS, compute_fields_parallel, resolve_workers
 from .string_index import StringIndex
 from .substring_index import SubstringIndex
@@ -26,6 +27,11 @@ from .typed_index import TypedIndex
 from .updater import apply_structural_change, apply_text_updates
 
 __all__ = ["IndexManager"]
+
+#: Statistics snapshots refresh after this many absolute mutations ...
+STATS_DRIFT_MIN = 100
+#: ... or once the drift exceeds this fraction of the index size.
+STATS_DRIFT_DENOMINATOR = 10
 
 #: Per-call default: "use the manager's configured ``parallel`` knob".
 _DEFAULT = object()
@@ -75,6 +81,20 @@ class IndexManager:
         # name -> value-leaf nids, pre order (scan fallback for
         # substring/regex lookups; invalidated on structural changes).
         self._leaf_nids_cache: dict[str, list[int]] = {}
+        #: Runtime counters and timers (build/update/query/WAL paths).
+        self.metrics = MetricsRegistry()
+        #: Mutation epoch: bumped by every operation that changes what a
+        #: query may return (loads, unloads, updates, new indices).  The
+        #: planner keys its plan cache on this.
+        self.epoch = 0
+        # (query text, document, mode) -> (epoch, plan); owned by
+        # repro.query.planner, stored here so it shares the manager's
+        # lifetime and invalidation.
+        self._plan_cache: dict[tuple, tuple[int, object]] = {}
+
+    def bump_epoch(self) -> None:
+        """Invalidate cached query plans (document/index set changed)."""
+        self.epoch += 1
 
     @property
     def indexes(self) -> list[ValueIndex]:
@@ -102,10 +122,13 @@ class IndexManager:
             raise IndexError_(f"typed index {type_name!r} already exists")
         index = TypedIndex(type_name, order=self._order)
         self.typed_indexes[type_name] = index
-        index.begin_bulk()
-        for doc in self.store.documents.values():
-            self._compute_document(doc, [index], parallel)
-        index.finish_bulk()
+        with self.metrics.timer("index.build").time():
+            index.begin_bulk()
+            for doc in self.store.documents.values():
+                self._compute_document(doc, [index], parallel)
+            index.finish_bulk()
+        self.metrics.counter("index.builds").inc()
+        self.bump_epoch()
         return index
 
     # ------------------------------------------------------------------
@@ -136,14 +159,17 @@ class IndexManager:
             )
 
     def _build_document(self, doc: Document, parallel) -> None:
-        indexes = self.indexes
-        for index in indexes:
-            index.begin_bulk()
-        self._compute_document(doc, indexes, parallel)
-        for index in indexes:
-            index.finish_bulk()
-        self._substring_add_range(doc, 0, len(doc) - 1)
+        with self.metrics.timer("index.build").time():
+            indexes = self.indexes
+            for index in indexes:
+                index.begin_bulk()
+            self._compute_document(doc, indexes, parallel)
+            for index in indexes:
+                index.finish_bulk()
+            self._substring_add_range(doc, 0, len(doc) - 1)
+        self.metrics.counter("index.builds").inc()
         self._leaf_nids_cache.pop(doc.name, None)
+        self.bump_epoch()
 
     def load(
         self, name: str, xml: str, parallel: int | str | None = _DEFAULT
@@ -171,13 +197,16 @@ class IndexManager:
 
     def build_all(self, parallel: int | str | None = _DEFAULT) -> None:
         """(Re)build all indices over all documents already in the store."""
-        for index in self.indexes:
-            index.begin_bulk()
-        for doc in self.store.documents.values():
-            self._compute_document(doc, self.indexes, parallel)
-            self._substring_add_range(doc, 0, len(doc) - 1)
-        for index in self.indexes:
-            index.finish_bulk()
+        with self.metrics.timer("index.build").time():
+            for index in self.indexes:
+                index.begin_bulk()
+            for doc in self.store.documents.values():
+                self._compute_document(doc, self.indexes, parallel)
+                self._substring_add_range(doc, 0, len(doc) - 1)
+            for index in self.indexes:
+                index.finish_bulk()
+        self.metrics.counter("index.builds").inc()
+        self.bump_epoch()
 
     def unload(self, name: str) -> None:
         """Drop a document and all its index entries (one bulk pass per
@@ -190,6 +219,7 @@ class IndexManager:
             self.substring_index.remove_entries(nids)
         self.store.remove_document(name)
         self._leaf_nids_cache.pop(name, None)
+        self.bump_epoch()
 
     # ------------------------------------------------------------------
     # Updates
@@ -208,41 +238,54 @@ class IndexManager:
         """
         nids: list[int] = []
         seen: set[int] = set()
-        for nid, new_text in updates:
-            self.store.update_text(nid, new_text)
-            if nid not in seen:
-                seen.add(nid)
-                nids.append(nid)
-        if self.substring_index is not None:
-            for nid in nids:
-                doc, pre = self.store.node(nid)
-                if doc.kind[pre] in (TEXT, ATTR):
-                    self.substring_index.set_entry(nid, doc.text_of(pre))
-        return apply_text_updates(self.store, nids, self.indexes)
+        with self.metrics.timer("index.update").time():
+            for nid, new_text in updates:
+                self.store.update_text(nid, new_text)
+                if nid not in seen:
+                    seen.add(nid)
+                    nids.append(nid)
+            if self.substring_index is not None:
+                for nid in nids:
+                    doc, pre = self.store.node(nid)
+                    if doc.kind[pre] in (TEXT, ATTR):
+                        self.substring_index.set_entry(nid, doc.text_of(pre))
+            recomputed = apply_text_updates(self.store, nids, self.indexes)
+        self.metrics.counter("index.updates").inc(len(nids))
+        self.bump_epoch()
+        return recomputed
 
     def delete_subtree(self, nid: int) -> StructuralChange:
         """Delete a subtree and maintain indices."""
-        change = self.store.delete_subtree(nid)
-        apply_structural_change(self.store, change, self.indexes)
-        self._substring_apply_change(change)
+        with self.metrics.timer("index.update").time():
+            change = self.store.delete_subtree(nid)
+            apply_structural_change(self.store, change, self.indexes)
+            self._substring_apply_change(change)
+        self.metrics.counter("index.updates").inc()
+        self.bump_epoch()
         return change
 
     def insert_xml(
         self, parent_nid: int, fragment: str, before_nid: int | None = None
     ) -> StructuralChange:
         """Insert an XML fragment and maintain indices."""
-        change = self.store.insert_xml(parent_nid, fragment, before_nid)
-        apply_structural_change(self.store, change, self.indexes)
-        self._substring_apply_change(change)
+        with self.metrics.timer("index.update").time():
+            change = self.store.insert_xml(parent_nid, fragment, before_nid)
+            apply_structural_change(self.store, change, self.indexes)
+            self._substring_apply_change(change)
+        self.metrics.counter("index.updates").inc()
+        self.bump_epoch()
         return change
 
     def insert_attribute(
         self, owner_nid: int, name: str, value: str
     ) -> StructuralChange:
         """Add an attribute to an element and index its value."""
-        change = self.store.insert_attribute(owner_nid, name, value)
-        apply_structural_change(self.store, change, self.indexes)
-        self._substring_apply_change(change)
+        with self.metrics.timer("index.update").time():
+            change = self.store.insert_attribute(owner_nid, name, value)
+            apply_structural_change(self.store, change, self.indexes)
+            self._substring_apply_change(change)
+        self.metrics.counter("index.updates").inc()
+        self.bump_epoch()
         return change
 
     def delete_attribute(self, attr_nid: int) -> StructuralChange:
@@ -256,6 +299,8 @@ class IndexManager:
         """Rename an element/attribute/PI — no index maintenance needed
         (the generic indices are name-agnostic by design)."""
         self.store.rename(nid, new_name)
+        # A rename can change which nodes a name test selects.
+        self.bump_epoch()
 
     def _substring_apply_change(self, change: StructuralChange) -> None:
         self._leaf_nids_cache.pop(change.document.name, None)
@@ -376,8 +421,9 @@ class IndexManager:
         """Selectivity statistics for one index (cached snapshots).
 
         ``kind`` is ``"string"`` or a typed-index name.  Snapshots are
-        recomputed once the index has drifted by more than 10% (or 100
-        entries) since they were taken.
+        recomputed once the index has drifted by more than
+        :data:`STATS_DRIFT_MIN` mutations or ``1/STATS_DRIFT_DENOMINATOR``
+        of its size since they were taken.
         """
         from .statistics import StringIndexStatistics, TypedIndexStatistics
 
@@ -390,12 +436,18 @@ class IndexManager:
         cached = self._statistics_cache.get(kind)
         if cached is not None:
             drift = index.mutations - cached.mutations
-            if drift <= max(100, len(index.tree) // 10):
+            threshold = max(
+                STATS_DRIFT_MIN, len(index.tree) // STATS_DRIFT_DENOMINATOR
+            )
+            if drift <= threshold:
+                self.metrics.counter("statistics.cached").inc()
                 return cached
-        if kind == "string":
-            snapshot = StringIndexStatistics.from_index(index)
-        else:
-            snapshot = TypedIndexStatistics.from_index(index)
+        with self.metrics.timer("statistics.refresh").time():
+            if kind == "string":
+                snapshot = StringIndexStatistics.from_index(index)
+            else:
+                snapshot = TypedIndexStatistics.from_index(index)
+        self.metrics.counter("statistics.refreshes").inc()
         self._statistics_cache[kind] = snapshot
         return snapshot
 

@@ -25,6 +25,7 @@ from .query import explain as _explain
 from .query import query as _query
 from .storage.persist import load_manager, save_manager
 from .storage.wal import (
+    DELETE_ATTRIBUTE,
     DELETE_SUBTREE,
     INSERT_ATTRIBUTE,
     INSERT_XML,
@@ -92,7 +93,9 @@ class Database:
             self.recovered_records = 0
         self.manager.parallel = parallel
         self.manager.parallel_backend = parallel_backend
-        self._wal = WriteAheadLog(wal_path, sync=sync)
+        self._wal = WriteAheadLog(
+            wal_path, sync=sync, metrics=self.manager.metrics
+        )
         if self.recovered_records:
             self._wal.truncate()
 
@@ -111,6 +114,8 @@ class Database:
             manager.delete_subtree(record.nid)
         elif record.kind == INSERT_ATTRIBUTE:
             manager.insert_attribute(record.nid, record.name, record.text)
+        elif record.kind == DELETE_ATTRIBUTE:
+            manager.delete_attribute(record.nid)
         elif record.kind == RENAME:
             manager.rename(record.nid, record.name)
 
@@ -173,7 +178,7 @@ class Database:
 
     def delete_attribute(self, attr_nid: int):
         change = self.manager.delete_attribute(attr_nid)
-        self._log(WalRecord(DELETE_SUBTREE, attr_nid))
+        self._log(WalRecord(DELETE_ATTRIBUTE, attr_nid))
         return change
 
     def rename(self, nid: int, new_name: str) -> None:
@@ -188,8 +193,16 @@ class Database:
               use_indexes: bool | str = True) -> list[int]:
         return _query(self.manager, text, document, use_indexes)
 
-    def explain(self, text: str) -> str:
-        return _explain(self.manager, text)
+    def explain(self, text: str, execute: bool = False):
+        """Plan report (see :func:`repro.query.planner.explain`): an
+        :class:`~repro.query.planner.Explanation` comparable to the
+        legacy summary strings and carrying per-document plan trees."""
+        return _explain(self.manager, text, execute=execute)
+
+    def metrics(self) -> dict:
+        """Snapshot of runtime counters and timers (queries, plan
+        cache, index builds/updates, statistics refreshes, WAL)."""
+        return self.manager.metrics.snapshot()
 
     def lookup_string(self, value: str) -> Iterator[int]:
         return self.manager.lookup_string(value)

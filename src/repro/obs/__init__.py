@@ -1,0 +1,13 @@
+"""Runtime observability: zero-dependency counters and timer histograms.
+
+The metrics layer is threaded through the query executor, the index
+manager's build/update paths and the write-ahead log.  Every
+:class:`~repro.core.manager.IndexManager` owns one
+:class:`MetricsRegistry`; :meth:`repro.database.Database.metrics`
+exposes a structured snapshot, and the CLI ``stats`` subcommand prints
+it.
+"""
+
+from .metrics import Counter, MetricsRegistry, TimerHistogram
+
+__all__ = ["Counter", "MetricsRegistry", "TimerHistogram"]

@@ -1,0 +1,163 @@
+"""Counters and timer histograms with no external dependencies.
+
+Design goals, in order:
+
+* **cheap on the hot path** — incrementing a counter is one attribute
+  add; observing a timer is a few arithmetic operations (no locks on
+  the record path: CPython's GIL makes the individual operations safe
+  enough for monitoring data, where a lost increment under extreme
+  contention is acceptable);
+* **structured snapshots** — :meth:`MetricsRegistry.snapshot` returns
+  plain dicts ready for JSON/CLI rendering;
+* **log-scale latency resolution** — timer histograms bucket by powers
+  of two microseconds, so one histogram covers sub-millisecond index
+  lookups and multi-second bulk builds alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Counter", "TimerHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class _Timing:
+    """Context manager recording one duration into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "TimerHistogram"):
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timing":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+#: Number of power-of-two microsecond buckets (covers 1 µs .. ~67 s).
+_BUCKETS = 27
+
+
+class TimerHistogram:
+    """Latency histogram over power-of-two microsecond buckets.
+
+    Bucket ``i`` counts observations whose whole-microsecond duration
+    is in ``[2**(i-1) µs, 2**i µs)`` (the bit length of the value);
+    bucket 0 holds sub-microsecond durations and the last bucket is
+    open-ended.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.buckets = [0] * _BUCKETS
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+        micros = int(seconds * 1e6)
+        index = micros.bit_length() if micros > 0 else 0
+        if index >= _BUCKETS:
+            index = _BUCKETS - 1
+        self.buckets[index] += 1
+
+    def time(self) -> _Timing:
+        """``with timer.time(): ...`` records the block's duration."""
+        return _Timing(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Structured summary; bucket labels are exclusive upper bounds."""
+        filled = {
+            f"<{2 ** i}us": count
+            for i, count in enumerate(self.buckets)
+            if count
+        }
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": 0.0 if self.count == 0 else self.minimum,
+            "max_s": self.maximum,
+            "buckets": filled,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters and timers.
+
+    Creation is locked (first use of a name races between threads);
+    the record paths on the returned objects are lock-free.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, TimerHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def timer(self, name: str) -> TimerHistogram:
+        timer = self._timers.get(name)
+        if timer is None:
+            with self._lock:
+                timer = self._timers.setdefault(name, TimerHistogram(name))
+        return timer
+
+    def snapshot(self) -> dict:
+        """All metrics as plain dicts (JSON/CLI friendly)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "timers": {
+                name: timer.snapshot()
+                for name, timer in sorted(self._timers.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded values (keeps registered names)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0
+            for name in list(self._timers):
+                self._timers[name] = TimerHistogram(name)

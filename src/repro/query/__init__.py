@@ -1,16 +1,38 @@
-"""XPath-subset query layer (naive baseline + index-accelerated plans)."""
+"""XPath-subset query layer: parse → plan (cost-based) → execute."""
 
 from .ast import Comparison, Path, Step
 from .evaluator import evaluate_naive
+from .executor import execute_plan
 from .parser import parse_query
-from .planner import explain, query
+from .plan import (
+    AncestorWalk,
+    FullScan,
+    IndexLookup,
+    Intersect,
+    PlanNode,
+    StructuralVerify,
+    Union,
+    render_plan,
+)
+from .planner import Explanation, build_plan, explain, query
 
 __all__ = [
+    "AncestorWalk",
     "Comparison",
+    "Explanation",
+    "FullScan",
+    "IndexLookup",
+    "Intersect",
     "Path",
+    "PlanNode",
     "Step",
+    "StructuralVerify",
+    "Union",
+    "build_plan",
     "evaluate_naive",
+    "execute_plan",
     "explain",
     "parse_query",
     "query",
+    "render_plan",
 ]

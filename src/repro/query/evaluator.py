@@ -28,7 +28,13 @@ from .ast import (
     WildcardTest,
 )
 
-__all__ = ["evaluate_path", "test_matches", "compare_node"]
+__all__ = [
+    "evaluate_path",
+    "test_matches",
+    "compare_node",
+    "typed_literal",
+    "TYPED_LITERAL_TYPES",
+]
 
 
 def test_matches(doc: Document, pre: int, test) -> bool:
@@ -110,6 +116,48 @@ def _double_value(text: str):
     return _DOUBLE.value_of_text(text)
 
 
+#: Ordered XML types a quoted literal may denote in an order comparison,
+#: most specific first (a dateTime lexical is also *not* a date, so the
+#: first type whose grammar accepts the literal wins deterministically).
+TYPED_LITERAL_TYPES = (
+    "dateTime",
+    "date",
+    "time",
+    "gYearMonth",
+    "gMonthDay",
+    "gYear",
+    "gMonth",
+    "gDay",
+    "duration",
+)
+
+_TYPED_LITERAL_CACHE: dict[str, tuple[str, object] | None] = {}
+
+
+def typed_literal(literal: str) -> tuple[str, object] | None:
+    """Detect the typed domain of a quoted literal.
+
+    Returns ``(type name, typed value)`` for literals that are a valid
+    lexical form of one of :data:`TYPED_LITERAL_TYPES` (e.g.
+    ``"2002-05-06T10:00:00"`` → dateTime), or ``None`` for plain
+    strings.  This is what gives order comparisons against quoted
+    literals their semantics: both sides are cast into the detected
+    domain, and operands that do not cast never match — mirroring the
+    numeric-literal rule, where operands are cast to xs:double.
+    """
+    cached = _TYPED_LITERAL_CACHE.get(literal)
+    if cached is None and literal not in _TYPED_LITERAL_CACHE:
+        for name in TYPED_LITERAL_TYPES:
+            value = get_plugin(name).value_of_text(literal)
+            if value is not None:
+                cached = (name, value)
+                break
+        if len(_TYPED_LITERAL_CACHE) > 4096:
+            _TYPED_LITERAL_CACHE.clear()
+        _TYPED_LITERAL_CACHE[literal] = cached
+    return cached
+
+
 def _compare(left, op: str, right) -> bool:
     if op == "=":
         return left == right
@@ -143,11 +191,19 @@ def compare_node(doc: Document, pre: int, predicate) -> bool:
             f"unknown predicate function {predicate.function!r}"
         )
     if isinstance(predicate.literal, str):
-        if predicate.op not in ("=", "!="):
+        if predicate.op in ("=", "!="):
+            return _compare(value, predicate.op, predicate.literal)
+        detected = typed_literal(predicate.literal)
+        if detected is None:
             raise QueryEvaluationError(
-                "order comparisons against string literals are not supported"
+                "order comparisons against string literals are only "
+                "supported for typed (temporal) literals"
             )
-        return _compare(value, predicate.op, predicate.literal)
+        type_name, literal_value = detected
+        cast = get_plugin(type_name).value_of_text(value)
+        if cast is None:
+            return False
+        return _compare(cast, predicate.op, literal_value)
     cast = _double_value(value)
     if cast is None:
         return False

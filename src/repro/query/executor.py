@@ -1,0 +1,248 @@
+"""Executor for typed plan trees, with per-operator instrumentation.
+
+Runs the plans built by :mod:`repro.query.planner` against one
+document.  Each operator records its output cardinality and (inclusive)
+wall time into an ``actuals`` dict keyed by the node's ``op_id``; the
+registry passed as ``metrics`` receives aggregate counters so repeated
+queries show up in :meth:`repro.database.Database.metrics`.
+
+Correctness invariant: whatever the plan shape, the result equals
+:func:`repro.query.evaluator.evaluate_naive` — index operators only
+*narrow the candidate set*, and ``StructuralVerify`` re-establishes the
+full path structure and predicate before a node is emitted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator
+
+from ..core.manager import IndexManager
+from ..xmldb.document import Document
+from .ast import Comparison, FunctionPredicate, Step
+from .evaluator import (
+    _predicate_holds,
+    evaluate_naive,
+    test_matches,
+)
+from .plan import (
+    AncestorWalk,
+    FullScan,
+    IndexLookup,
+    Intersect,
+    PlanNode,
+    StructuralVerify,
+    Union,
+)
+
+__all__ = ["execute_plan"]
+
+
+# ---------------------------------------------------------------------------
+# Structural navigation (shared with the legacy planner tests)
+# ---------------------------------------------------------------------------
+
+
+def _context_starts(
+    doc: Document, pre: int, steps: tuple[Step, ...], idx: int
+) -> set[int]:
+    """Context nodes from which ``steps[:idx+1]`` can select ``pre``."""
+    step = steps[idx]
+    if not test_matches(doc, pre, step.test):
+        return set()
+    if any(not _predicate_holds(doc, pre, p) for p in step.predicates):
+        return set()
+    if idx == 0:
+        if step.axis == "child":
+            parent = doc.parent(pre)
+            return set() if parent is None else {parent}
+        if step.axis == "descendant":
+            return set(doc.ancestors(pre))
+        return {pre}  # self
+    if step.axis == "child":
+        predecessors: Iterable[int] = (
+            () if doc.parent(pre) is None else (doc.parent(pre),)
+        )
+    elif step.axis == "descendant":
+        predecessors = doc.ancestors(pre)
+    else:  # self
+        predecessors = (pre,)
+    starts: set[int] = set()
+    for predecessor in predecessors:
+        starts |= _context_starts(doc, predecessor, steps, idx - 1)
+    return starts
+
+
+def _matches_absolute(
+    doc: Document,
+    pre: int,
+    steps: tuple[Step, ...],
+    idx: int,
+    skip_predicate: Comparison | None,
+    memo: dict[tuple[int, int], bool],
+) -> bool:
+    """Could ``pre`` be selected by ``steps[:idx+1]`` from the document
+    node?  ``skip_predicate`` is the comparison the index already
+    answered (not re-verified here; the caller re-checks it)."""
+    key = (pre, idx)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    step = steps[idx]
+    result = test_matches(doc, pre, step.test)
+    if result:
+        for predicate in step.predicates:
+            if predicate is skip_predicate:
+                continue
+            if not _predicate_holds(doc, pre, predicate):
+                result = False
+                break
+    if result:
+        if idx == 0:
+            if step.axis == "child":
+                result = doc.parent(pre) == 0
+            else:
+                result = pre != 0
+        elif step.axis == "child":
+            parent = doc.parent(pre)
+            result = parent is not None and _matches_absolute(
+                doc, parent, steps, idx - 1, skip_predicate, memo
+            )
+        else:
+            result = any(
+                _matches_absolute(doc, anc, steps, idx - 1, skip_predicate, memo)
+                for anc in doc.ancestors(pre)
+            )
+    memo[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Operator execution
+# ---------------------------------------------------------------------------
+
+
+def _owned_pres(
+    manager: IndexManager, doc: Document, nids: Iterable[int]
+) -> Iterator[int]:
+    """Pres of the nids that belong to ``doc`` (indices span documents)."""
+    doc_of_nid = manager.store._doc_of_nid
+    for nid in nids:
+        if doc_of_nid.get(nid) is doc:
+            yield doc.pre_of(nid)
+
+
+def _index_hits(
+    manager: IndexManager, doc: Document, node: IndexLookup
+) -> list[int]:
+    """Pres of value-matching nodes for one ``IndexLookup``."""
+    driver = node.driver
+    if isinstance(driver, FunctionPredicate):
+        if driver.function == "contains":
+            nids: Iterable[int] = manager.lookup_contains(driver.literal)
+        else:
+            nids = manager.lookup_regex(driver.literal)
+    elif node.kind == "string":
+        nids = manager.lookup_string(driver.literal)
+    else:  # a typed index (double, dateTime, ...)
+        kind, op, value = node.kind, node.op_symbol, node.value
+        if op == "=":
+            nids = manager.lookup_typed_equal(kind, value)
+        elif op == "<":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range(
+                    kind, high=value, include_high=False
+                )
+            )
+        elif op == "<=":
+            nids = (
+                nid for _v, nid in manager.lookup_typed_range(kind, high=value)
+            )
+        elif op == ">":
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range(
+                    kind, low=value, include_low=False
+                )
+            )
+        else:  # >=
+            nids = (
+                nid for _v, nid in manager.lookup_typed_range(kind, low=value)
+            )
+    return list(_owned_pres(manager, doc, nids))
+
+
+def _run(
+    manager: IndexManager,
+    doc: Document,
+    node: PlanNode,
+    actuals: dict[int, dict],
+):
+    """Execute one operator; returns hit pres (list) or contexts (set)."""
+    start = time.perf_counter()
+    if isinstance(node, FullScan):
+        result = evaluate_naive(doc, node.path)
+    elif isinstance(node, IndexLookup):
+        result = _index_hits(manager, doc, node)
+    elif isinstance(node, AncestorWalk):
+        hits = _run(manager, doc, node.children[0], actuals)
+        steps = node.operand_steps
+        contexts: set[int] = set()
+        last = len(steps) - 1
+        for pre in hits:
+            contexts |= _context_starts(doc, pre, steps, last)
+        result = contexts
+    elif isinstance(node, Intersect):
+        sets = [_run(manager, doc, child, actuals) for child in node.children]
+        result = set.intersection(*sets) if sets else set()
+    elif isinstance(node, Union):
+        result = set()
+        for child in node.children:
+            result |= _run(manager, doc, child, actuals)
+    elif isinstance(node, StructuralVerify):
+        candidates = _run(manager, doc, node.children[0], actuals)
+        steps = node.path.steps
+        predicate = node.predicate
+        memo: dict[tuple[int, int], bool] = {}
+        last = len(steps) - 1
+        verified: set[int] = set()
+        for context in candidates:
+            if not _matches_absolute(doc, context, steps, last, predicate, memo):
+                continue
+            # Structural match established; re-verify the full predicate
+            # properly (guards general-comparison corners such as !=,
+            # and the non-driver conjuncts).
+            if _predicate_holds(doc, context, predicate):
+                verified.add(context)
+        result = sorted(verified)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown plan node {node!r}")
+    actuals[node.op_id] = {
+        "rows": len(result),
+        "seconds": time.perf_counter() - start,
+    }
+    return result
+
+
+def execute_plan(
+    manager: IndexManager,
+    doc: Document,
+    plan: PlanNode,
+    actuals: dict[int, dict] | None = None,
+) -> list[int]:
+    """Run a plan tree over one document; returns matching pres sorted
+    in document order.  ``actuals`` (if given) is filled with
+    per-operator ``{"rows", "seconds"}`` entries keyed by ``op_id``."""
+    if actuals is None:
+        actuals = {}
+    metrics = manager.metrics
+    result = _run(manager, doc, plan, actuals)
+    if isinstance(result, set):  # a bare candidate operator as root
+        result = sorted(result)
+    if isinstance(plan, FullScan):
+        metrics.counter("query.plans.scan").inc()
+    else:
+        metrics.counter("query.plans.index").inc()
+    metrics.counter("query.rows").inc(len(result))
+    return result

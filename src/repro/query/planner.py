@@ -1,23 +1,35 @@
-"""Index-accelerated query evaluation.
+"""Cost-based query planning over the generic value indices.
 
-The planner recognises the shape the paper's indices target — a path
-whose final step carries a value predicate::
+The engine runs in three explicit phases:
 
-    //person[.//age = 42]          (typed index, equality)
-    //person[first/text() = "A"]   (string index)
-    //item[@price < 10]            (typed index, range)
+1. **Plan** — :func:`build_plan` compiles a parsed query into a typed
+   operator tree (:mod:`repro.query.plan`): either a ``FullScan`` or an
+   index plan ``IndexLookup → AncestorWalk → (Union/Intersect) →
+   StructuralVerify`` that evaluates the paper's shape *backwards* (the
+   value index supplies value-matching nodes, the operand path is
+   walked ancestor-wards, the outer path is verified structurally).
+2. **Price** — candidate plans are priced with the selectivity
+   snapshots of :mod:`repro.core.statistics`; in ``auto`` mode the
+   index plan is only chosen when its estimated candidate set is
+   cheaper than the scan it replaces.
+3. **Execute** — :mod:`repro.query.executor` runs the tree with
+   per-operator instrumentation.
 
-and evaluates it *backwards*: the value index supplies the nodes whose
-value matches, the predicate's operand path is walked in reverse
-(ancestor-wards) to find candidate context nodes, and the outer path is
-verified structurally.  Anything the planner does not recognise falls
-back to the naive evaluator, so results always equal
+Any configured typed index is eligible: numeric literals route through
+an index whose plugin implements xs:double, and quoted temporal
+literals (``"2002-05-06T10:00:00"``) route through a matching
+dateTime/date/... index.  Anything the planner does not recognise falls
+back to a ``FullScan``, so results always equal
 :func:`repro.query.evaluator.evaluate_naive`.
+
+Plans are cached per ``(query text, document, mode)`` and invalidated
+by the manager's mutation epoch (every update path bumps it), so
+repeated queries skip recognition, routing and pricing entirely.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from functools import lru_cache
 
 from ..core.manager import IndexManager
 from ..core.substring_index import literal_factors
@@ -29,182 +41,98 @@ from .ast import (
     FunctionPredicate,
     Path,
     PositionPredicate,
-    Step,
     TextTest,
 )
-from .evaluator import (
-    _predicate_holds,
-    evaluate_naive,
-    test_matches,
+from .evaluator import typed_literal
+from .executor import execute_plan
+from .plan import (
+    AncestorWalk,
+    FullScan,
+    IndexLookup,
+    Intersect,
+    PlanNode,
+    StructuralVerify,
+    Union,
+    number_plan,
+    render_plan,
 )
 from .parser import parse_query
 
-__all__ = ["query", "explain"]
+__all__ = ["query", "explain", "Explanation", "build_plan"]
+
+#: ``auto`` mode scans when the index is expected to return more than
+#: this fraction of the document as candidates.
+SCAN_THRESHOLD = 0.25
+
+#: Cost units: visiting one document node during a scan costs 1.
+SCAN_COST_PER_NODE = 1.0
+
+#: Each index candidate pays a tree walk, an ancestor walk and a
+#: structural verification — modelled as ``1/SCAN_THRESHOLD`` scan
+#: nodes so the cost crossover sits exactly at the validated threshold.
+CANDIDATE_COST = SCAN_COST_PER_NODE / SCAN_THRESHOLD
+
+#: Bound on the per-manager plan cache (entries, FIFO eviction).
+PLAN_CACHE_SIZE = 256
+
+_parse = lru_cache(maxsize=512)(parse_query)
 
 
-def _index_hits(
-    manager: IndexManager, doc: Document, comparison
-) -> Iterator[int] | None:
-    """Pres of value-matching nodes from an index, or None if no index
-    applies to this comparison."""
-    if isinstance(comparison, FunctionPredicate):
-        return _substring_hits(manager, doc, comparison)
-    literal = comparison.literal
-    op = comparison.op
-    if isinstance(literal, str):
-        if op != "=" or manager.string_index is None:
-            return None
-        nids = manager.lookup_string(literal)
-    else:
-        if "double" not in manager.typed_indexes:
-            return None
-        if op == "=":
-            nids = manager.lookup_typed_equal("double", literal)
-        elif op == "<":
-            nids = (
-                nid
-                for _v, nid in manager.lookup_typed_range(
-                    "double", high=literal, include_high=False
-                )
-            )
-        elif op == "<=":
-            nids = (
-                nid
-                for _v, nid in manager.lookup_typed_range("double", high=literal)
-            )
-        elif op == ">":
-            nids = (
-                nid
-                for _v, nid in manager.lookup_typed_range(
-                    "double", low=literal, include_low=False
-                )
-            )
-        elif op == ">=":
-            nids = (
-                nid
-                for _v, nid in manager.lookup_typed_range("double", low=literal)
-            )
-        else:  # != has no useful index form
-            return None
+# ---------------------------------------------------------------------------
+# Driver recognition and routing
+# ---------------------------------------------------------------------------
 
-    def pres() -> Iterator[int]:
-        for nid in nids:
-            owner = manager.store._doc_of_nid.get(nid)
-            if owner is doc:
-                yield doc.pre_of(nid)
-
-    return pres()
+_INDEXABLE_AXES = ("child", "descendant", "self")
 
 
-def _substring_hits(
-    manager: IndexManager, doc: Document, predicate: FunctionPredicate
-) -> Iterator[int] | None:
-    """Pres of leaves satisfying a contains/matches predicate via the
-    q-gram index.
+def _typed_route(manager: IndexManager, driver: Comparison):
+    """``(index name, op, typed literal)`` of the configured typed index
+    serving this comparison, or ``None``.
 
-    Only applies when the operand path targets leaves directly (a
-    ``text()`` or attribute step): the q-gram index is leaf-accurate,
-    and a match spanning element boundaries is only found by the scan
-    fallback.
+    Numeric literals need an index whose plugin implements xs:double
+    (general-comparison semantics cast operands to double); quoted
+    literals with an order operator need an index of the literal's
+    detected temporal type.  ``!=`` has no useful index form.
     """
-    if manager.substring_index is None:
+    if driver.op == "!=":
         return None
-    last_test = predicate.operand.steps[-1].test
-    if not isinstance(last_test, (TextTest, AttributeTest)):
+    if isinstance(driver.literal, str):
+        if driver.op == "=":
+            return None  # string equality belongs to the string index
+        detected = typed_literal(driver.literal)
+        if detected is None:
+            return None
+        type_name, value = detected
+        for name, index in manager.typed_indexes.items():
+            if index.plugin.name == type_name:
+                return name, driver.op, value
         return None
-    if predicate.function == "contains":
-        if not manager.substring_index.supports(predicate.literal):
+    for name, index in manager.typed_indexes.items():
+        if index.plugin.name == "double":
+            return name, driver.op, driver.literal
+    return None
+
+
+def _driver_kind(manager: IndexManager, driver) -> str | None:
+    """Which index would serve this atomic predicate, or ``None``."""
+    if isinstance(driver, FunctionPredicate):
+        index = manager.substring_index
+        if index is None:
             return None
-        nids = manager.lookup_contains(predicate.literal)
-    else:
-        pruned = manager.substring_index.candidates_for_regex(
-            predicate.literal
-        )
-        if pruned is None:
+        last_test = driver.operand.steps[-1].test
+        if not isinstance(last_test, (TextTest, AttributeTest)):
             return None
-        nids = manager.lookup_regex(predicate.literal)
-
-    def pres() -> Iterator[int]:
-        for nid in nids:
-            owner = manager.store._doc_of_nid.get(nid)
-            if owner is doc:
-                yield doc.pre_of(nid)
-
-    return pres()
-
-
-def _context_starts(
-    doc: Document, pre: int, steps: tuple[Step, ...], idx: int
-) -> set[int]:
-    """Context nodes from which ``steps[:idx+1]`` can select ``pre``."""
-    step = steps[idx]
-    if not test_matches(doc, pre, step.test):
-        return set()
-    if any(not _predicate_holds(doc, pre, p) for p in step.predicates):
-        return set()
-    if idx == 0:
-        if step.axis == "child":
-            parent = doc.parent(pre)
-            return set() if parent is None else {parent}
-        if step.axis == "descendant":
-            return set(doc.ancestors(pre))
-        return {pre}  # self
-    if step.axis == "child":
-        predecessors: Iterable[int] = (
-            () if doc.parent(pre) is None else (doc.parent(pre),)
-        )
-    elif step.axis == "descendant":
-        predecessors = doc.ancestors(pre)
-    else:  # self
-        predecessors = (pre,)
-    starts: set[int] = set()
-    for predecessor in predecessors:
-        starts |= _context_starts(doc, predecessor, steps, idx - 1)
-    return starts
-
-
-def _matches_absolute(
-    doc: Document,
-    pre: int,
-    steps: tuple[Step, ...],
-    idx: int,
-    skip_predicate: Comparison | None,
-    memo: dict[tuple[int, int], bool],
-) -> bool:
-    """Could ``pre`` be selected by ``steps[:idx+1]`` from the document
-    node?  ``skip_predicate`` is the comparison the index already
-    answered (not re-verified here; the caller re-checks it)."""
-    key = (pre, idx)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    step = steps[idx]
-    result = test_matches(doc, pre, step.test)
-    if result:
-        for predicate in step.predicates:
-            if predicate is skip_predicate:
-                continue
-            if not _predicate_holds(doc, pre, predicate):
-                result = False
-                break
-    if result:
-        if idx == 0:
-            if step.axis == "child":
-                result = doc.parent(pre) == 0
-            else:
-                result = pre != 0
-        elif step.axis == "child":
-            parent = doc.parent(pre)
-            result = parent is not None and _matches_absolute(
-                doc, parent, steps, idx - 1, skip_predicate, memo
-            )
+        if driver.function == "contains":
+            usable = index.supports(driver.literal)
         else:
-            result = any(
-                _matches_absolute(doc, anc, steps, idx - 1, skip_predicate, memo)
-                for anc in doc.ancestors(pre)
-            )
-    memo[key] = result
-    return result
+            usable = index.candidates_for_regex(driver.literal) is not None
+        return "substring" if usable else None
+    if isinstance(driver.literal, str) and driver.op in ("=", "!="):
+        if driver.op == "=" and manager.string_index is not None:
+            return "string"
+        return None
+    route = _typed_route(manager, driver)
+    return None if route is None else route[0]
 
 
 def _plan_drivers(manager: IndexManager, predicate) -> list | None:
@@ -215,7 +143,9 @@ def _plan_drivers(manager: IndexManager, predicate) -> list | None:
     * ``and``: any one indexable conjunct covers (the rest is verified);
     * ``or``: every disjunct must be covered (hits are unioned).
 
-    Returns ``None`` when no covering driver set exists.
+    Returns ``None`` when no covering driver set exists.  (This is the
+    recognition rule behind the compact ``explain`` summary; the cost
+    model may pick a different — cheaper — covering conjunct.)
     """
     if isinstance(predicate, (Comparison, FunctionPredicate)):
         if _driver_kind(manager, predicate) is None:
@@ -236,11 +166,6 @@ def _plan_drivers(manager: IndexManager, predicate) -> list | None:
             drivers.extend(child_drivers)
         return drivers
     return None
-
-
-#: ``auto`` mode scans when the index is expected to return more than
-#: this fraction of the document as candidates.
-SCAN_THRESHOLD = 0.25
 
 
 def _estimate_driver(manager: IndexManager, driver) -> float:
@@ -264,69 +189,168 @@ def _estimate_driver(manager: IndexManager, driver) -> float:
                 else None
             )
         return float("inf") if estimate is None else float(estimate)
-    if isinstance(driver.literal, str):
+    if isinstance(driver.literal, str) and driver.op in ("=", "!="):
         return manager.statistics("string").estimate_equal()
-    return manager.statistics("double").estimate(driver.op, driver.literal)
+    route = _typed_route(manager, driver)
+    if route is None:
+        return float("inf")
+    name, op, value = route
+    return manager.statistics(name).estimate(op, value)
 
 
-def _evaluate_with_index(
-    manager: IndexManager, doc: Document, path: Path, cost_based: bool = False
-) -> list[int] | None:
-    """Index-accelerated evaluation; None if the plan does not apply."""
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+
+
+def _atom_plan(manager: IndexManager, atom) -> PlanNode | None:
+    """``IndexLookup → AncestorWalk`` for one atomic predicate, priced;
+    ``None`` when no index applies (or reverse/sibling operand axes
+    make the backwards walk unsound)."""
+    kind = _driver_kind(manager, atom)
+    if kind is None:
+        return None
+    if not all(step.axis in _INDEXABLE_AXES for step in atom.operand.steps):
+        return None
+    if isinstance(atom, FunctionPredicate) or kind in ("string", "substring"):
+        lookup = IndexLookup(kind, atom)
+    else:
+        name, op, value = _typed_route(manager, atom)
+        lookup = IndexLookup(name, atom, op_symbol=op, value=value)
+    estimate = _estimate_driver(manager, atom)
+    lookup.estimated_rows = estimate
+    lookup.estimated_cost = estimate * SCAN_COST_PER_NODE
+    walk = AncestorWalk(lookup, atom.operand.steps)
+    walk.estimated_rows = estimate
+    walk.estimated_cost = lookup.estimated_cost + estimate * SCAN_COST_PER_NODE
+    return walk
+
+
+def _cover_plan(manager: IndexManager, predicate) -> PlanNode | None:
+    """Candidate-context subplan covering ``predicate``, or ``None``.
+
+    ``or`` unions all branches (each must be covered); ``and`` picks the
+    *cheapest* covered conjunct by estimate and intersects any further
+    conjunct whose own candidate walk is comparably cheap — every extra
+    intersection is sound (the true result is a subset of each
+    conjunct's candidates) and shrinks the verification load.
+    """
+    if isinstance(predicate, (Comparison, FunctionPredicate)):
+        return _atom_plan(manager, predicate)
+    if not isinstance(predicate, BooleanExpr):
+        return None
+    covers = [
+        plan
+        for plan in (
+            _cover_plan(manager, child) for child in predicate.children
+        )
+        if plan is not None
+    ]
+    if predicate.op == "and":
+        if not covers:
+            return None
+        covers.sort(key=lambda plan: plan.estimated_rows)
+        cheapest = covers[0]
+        extras = [
+            plan
+            for plan in covers[1:]
+            if plan.estimated_rows <= 2 * cheapest.estimated_rows + 64
+        ]
+        if not extras:
+            return cheapest
+        node = Intersect((cheapest, *extras))
+        node.estimated_rows = cheapest.estimated_rows
+        node.estimated_cost = sum(p.estimated_cost for p in (cheapest, *extras))
+        return node
+    if len(covers) != len(predicate.children):
+        return None  # a disjunct without an index breaks the cover
+    if len(covers) == 1:
+        return covers[0]
+    node = Union(tuple(covers))
+    node.estimated_rows = sum(plan.estimated_rows for plan in covers)
+    node.estimated_cost = sum(plan.estimated_cost for plan in covers)
+    return node
+
+
+def build_plan(
+    manager: IndexManager,
+    doc: Document,
+    path: Path,
+    use_indexes: bool | str = True,
+) -> PlanNode:
+    """Compile one document's plan for a parsed path.
+
+    ``use_indexes`` mirrors :func:`query`: ``True`` forces the index
+    plan whenever one applies, ``False`` forces the scan, and ``"auto"``
+    prices both and keeps the cheaper.
+    """
+    scan = FullScan(path)
+    scan.estimated_rows = float(len(doc))
+    scan.estimated_cost = len(doc) * SCAN_COST_PER_NODE
+    if use_indexes is False:
+        scan.reason = "forced"
+        return number_plan(scan)
     if any(
         isinstance(predicate, PositionPredicate)
         for step in path.steps
         for predicate in step.predicates
     ):
-        return None  # positional filters need full per-context lists
-    if not all(
-        step.axis in ("child", "descendant", "self") for step in path.steps
-    ):
-        return None  # reverse/sibling axes are scan-only
+        scan.reason = "positional predicate"
+        return number_plan(scan)
+    if not all(step.axis in _INDEXABLE_AXES for step in path.steps):
+        scan.reason = "reverse/sibling axis"
+        return number_plan(scan)
     final = path.steps[-1]
     predicate = next(iter(final.predicates), None)
     if predicate is None:
-        return None
-    drivers = _plan_drivers(manager, predicate)
-    if drivers is None:
-        return None
-    if cost_based:
-        expected = sum(_estimate_driver(manager, d) for d in drivers)
-        if expected > SCAN_THRESHOLD * len(doc):
-            return None
-    memo: dict[tuple[int, int], bool] = {}
-    results: set[int] = set()
-    rejected: set[int] = set()
-    for driver in drivers:
-        if not all(
-            step.axis in ("child", "descendant", "self")
-            for step in driver.operand.steps
-        ):
-            return None  # reverse/sibling operand axes are scan-only
-        hits = _index_hits(manager, doc, driver)
-        if hits is None:
-            return None
-        operand_steps = driver.operand.steps
-        for value_pre in hits:
-            for context in _context_starts(
-                doc, value_pre, operand_steps, len(operand_steps) - 1
-            ):
-                if context in results or context in rejected:
-                    continue
-                if not _matches_absolute(
-                    doc, context, path.steps, len(path.steps) - 1,
-                    predicate, memo,
-                ):
-                    rejected.add(context)
-                    continue
-                # Structural match established; re-verify the full
-                # predicate properly (guards general-comparison corners
-                # such as !=, and the non-driver conjuncts).
-                if _predicate_holds(doc, context, predicate):
-                    results.add(context)
-                else:
-                    rejected.add(context)
-    return sorted(results)
+        scan.reason = "no value predicate"
+        return number_plan(scan)
+    cover = _cover_plan(manager, predicate)
+    if cover is None:
+        scan.reason = "no index applies"
+        return number_plan(scan)
+    candidates = cover.estimated_rows
+    if use_indexes == "auto" and candidates > SCAN_THRESHOLD * len(doc):
+        scan.reason = (
+            f"cost: ~{candidates:.0f} candidates > "
+            f"{SCAN_THRESHOLD:.0%} of {len(doc)} nodes"
+        )
+        return number_plan(scan)
+    verify = StructuralVerify(cover, path, predicate)
+    verify.estimated_rows = candidates
+    verify.estimated_cost = (
+        cover.estimated_cost
+        + candidates * (CANDIDATE_COST - 2 * SCAN_COST_PER_NODE)
+    )
+    return number_plan(verify)
+
+
+def _plan_for(
+    manager: IndexManager,
+    doc: Document,
+    text: str,
+    path: Path,
+    use_indexes: bool | str,
+) -> PlanNode:
+    """Cached :func:`build_plan`, keyed by query text, document and
+    mode; entries are valid for one index epoch only."""
+    cache = manager._plan_cache
+    key = (text, doc.name, use_indexes)
+    entry = cache.get(key)
+    if entry is not None and entry[0] == manager.epoch:
+        manager.metrics.counter("query.plan_cache.hits").inc()
+        return entry[1]
+    manager.metrics.counter("query.plan_cache.misses").inc()
+    plan = build_plan(manager, doc, path, use_indexes)
+    if len(cache) >= PLAN_CACHE_SIZE:
+        cache.pop(next(iter(cache)))
+    cache[key] = (manager.epoch, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
 
 
 def query(
@@ -348,62 +372,108 @@ def query(
     """
     if use_indexes not in (True, False, "auto"):
         raise ValueError("use_indexes must be True, False or 'auto'")
-    parsed = parse_query(text)
+    parsed = _parse(text)
     doc_name = parsed.document or document
     if doc_name is not None:
         docs = [manager.store.document(doc_name)]
     else:
         docs = list(manager.store.documents.values())
+    metrics = manager.metrics
     results: list[int] = []
-    for doc in docs:
-        pres: list[int] | None = None
-        if use_indexes:
-            pres = _evaluate_with_index(
-                manager, doc, parsed.path, cost_based=use_indexes == "auto"
-            )
-        if pres is None:
-            pres = evaluate_naive(doc, parsed.path)
-        results.extend(doc.nid[pre] for pre in pres)
+    with metrics.timer("query.evaluate").time():
+        for doc in docs:
+            plan = _plan_for(manager, doc, text, parsed.path, use_indexes)
+            pres = execute_plan(manager, doc, plan)
+            results.extend(doc.nid[pre] for pre in pres)
+    metrics.counter("query.executed").inc()
     return results
 
 
-def _driver_kind(manager: IndexManager, driver) -> str | None:
-    """Which index would serve this atomic predicate, or ``None``."""
-    if isinstance(driver, FunctionPredicate):
-        index = manager.substring_index
-        if index is None:
-            return None
-        last_test = driver.operand.steps[-1].test
-        if not isinstance(last_test, (TextTest, AttributeTest)):
-            return None
-        if driver.function == "contains":
-            usable = index.supports(driver.literal)
-        else:
-            usable = index.candidates_for_regex(driver.literal) is not None
-        return "substring" if usable else None
-    if isinstance(driver.literal, str):
-        if driver.op == "=" and manager.string_index is not None:
-            return "string"
-        return None
-    if driver.op != "!=" and "double" in manager.typed_indexes:
-        return "double"
-    return None
+class ExplainReport:
+    """One document's plan (tree + estimates, optionally actuals)."""
+
+    def __init__(self, document: str, plan: PlanNode,
+                 actuals: dict[int, dict] | None = None):
+        self.document = document
+        self.plan = plan
+        self.actuals = actuals
+
+    def render(self) -> str:
+        return (
+            f"document {self.document!r}:\n"
+            + render_plan(self.plan, self.actuals)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "document": self.document,
+            "plan": self.plan.to_dict(self.actuals),
+        }
 
 
-def explain(manager: IndexManager, text: str) -> str:
-    """Report which plan the query would use (``"index(...)"``/``"scan"``)."""
-    parsed = parse_query(text)
+class Explanation(str):
+    """Structured ``explain`` result.
+
+    The string value keeps the compact legacy summary
+    (``"scan"``/``"index(double)"``/...), so existing comparisons keep
+    working; :attr:`reports` carries one cost-annotated plan tree per
+    document, :meth:`tree` renders them, and :meth:`to_dict` is the
+    JSON form.
+    """
+
+    reports: list[ExplainReport]
+
+    def __new__(cls, summary: str, reports: list[ExplainReport]):
+        obj = super().__new__(cls, summary)
+        obj.reports = reports
+        return obj
+
+    def tree(self) -> str:
+        if not self.reports:
+            return "(no documents loaded)"
+        return "\n".join(report.render() for report in self.reports)
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": str(self),
+            "documents": [report.to_dict() for report in self.reports],
+        }
+
+
+def explain(
+    manager: IndexManager,
+    text: str,
+    document: str | None = None,
+    execute: bool = False,
+) -> Explanation:
+    """Report the plan a query would use.
+
+    Returns an :class:`Explanation` — comparable to the legacy compact
+    strings (``"index(...)"``/``"scan"``) and carrying per-document
+    plan trees with cost estimates.  With ``execute=True`` the plans
+    are run and each operator's actual row count and time is attached.
+    """
+    parsed = _parse(text)
     final = parsed.path.steps[-1]
     predicate = next(iter(final.predicates), None)
-    if predicate is None:
-        return "scan"
-    drivers = _plan_drivers(manager, predicate)
-    if drivers is None:
-        return "scan"
-    kinds = []
-    for driver in drivers:
-        kind = _driver_kind(manager, driver)
-        if kind is None:
-            return "scan"
-        kinds.append(kind)
-    return "index(" + "+".join(sorted(set(kinds))) + ")"
+    summary = "scan"
+    if predicate is not None:
+        drivers = _plan_drivers(manager, predicate)
+        if drivers is not None:
+            kinds = [_driver_kind(manager, driver) for driver in drivers]
+            if all(kind is not None for kind in kinds):
+                summary = "index(" + "+".join(sorted(set(kinds))) + ")"
+    doc_name = parsed.document or document
+    if doc_name is not None:
+        docs = [manager.store.document(doc_name)]
+    else:
+        docs = list(manager.store.documents.values())
+    reports = []
+    for doc in docs:
+        plan = build_plan(manager, doc, parsed.path, "auto")
+        actuals: dict[int, dict] | None = None
+        if execute:
+            actuals = {}
+            execute_plan(manager, doc, plan, actuals)
+        reports.append(ExplainReport(doc.name, plan, actuals))
+    return Explanation(summary, reports)

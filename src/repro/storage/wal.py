@@ -33,6 +33,7 @@ __all__ = [
     "INSERT_XML",
     "DELETE_SUBTREE",
     "INSERT_ATTRIBUTE",
+    "DELETE_ATTRIBUTE",
     "RENAME",
     "WriteAheadLog",
     "replay_records",
@@ -43,8 +44,16 @@ INSERT_XML = 2
 DELETE_SUBTREE = 3
 INSERT_ATTRIBUTE = 4
 RENAME = 5
+DELETE_ATTRIBUTE = 6
 
-_KNOWN_TYPES = {TEXT_UPDATE, INSERT_XML, DELETE_SUBTREE, INSERT_ATTRIBUTE, RENAME}
+_KNOWN_TYPES = {
+    TEXT_UPDATE,
+    INSERT_XML,
+    DELETE_SUBTREE,
+    INSERT_ATTRIBUTE,
+    RENAME,
+    DELETE_ATTRIBUTE,
+}
 
 
 @dataclass(frozen=True)
@@ -56,6 +65,9 @@ class WalRecord:
     * DELETE_SUBTREE:   nid
     * INSERT_ATTRIBUTE: nid (owner), name, text (value)
     * RENAME:           nid, name
+    * DELETE_ATTRIBUTE: nid (replay re-checks the attribute node kind;
+      logs from before this record kind carry DELETE_SUBTREE instead and
+      still replay)
     """
 
     kind: int
@@ -106,25 +118,36 @@ class WriteAheadLog:
         path: Log file path (created with a header when absent).
         sync: ``"none"`` (buffered), ``"flush"`` (flush per append) or
             ``"fsync"`` (flush + fsync per append).
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; appends
+            and truncations are counted and append latency is timed.
     """
 
-    def __init__(self, path: str, sync: str = "flush"):
+    def __init__(self, path: str, sync: str = "flush", metrics=None):
         if sync not in ("none", "flush", "fsync"):
             raise ValueError("sync must be 'none', 'flush' or 'fsync'")
         self.path = path
         self._sync = sync
+        self._metrics = metrics
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._fh: BinaryIO = open(path, "ab")
         if fresh:
             write_header(self._fh)
             self._fh.flush()
 
-    def append(self, record: WalRecord) -> None:
+    def _append(self, record: WalRecord) -> None:
         self._fh.write(encode_record(record))
         if self._sync != "none":
             self._fh.flush()
             if self._sync == "fsync":
                 os.fsync(self._fh.fileno())
+
+    def append(self, record: WalRecord) -> None:
+        if self._metrics is None:
+            self._append(record)
+            return
+        with self._metrics.timer("wal.append").time():
+            self._append(record)
+        self._metrics.counter("wal.appends").inc()
 
     def truncate(self) -> None:
         """Reset the log after a checkpoint."""
@@ -133,6 +156,8 @@ class WriteAheadLog:
         write_header(self._fh)
         self._fh.flush()
         self._fh = open(self.path, "ab")
+        if self._metrics is not None:
+            self._metrics.counter("wal.truncates").inc()
 
     def close(self) -> None:
         self._fh.flush()

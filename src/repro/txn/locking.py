@@ -152,6 +152,7 @@ class LockingTransaction:
                     self._touched,
                     self._manager.index_manager.indexes,
                 )
+                self._manager.index_manager.bump_epoch()
         finally:
             self._release_all()
         self.status = "committed"
@@ -169,6 +170,7 @@ class LockingTransaction:
                 apply_text_updates(
                     store, self._touched, self._manager.index_manager.indexes
                 )
+                self._manager.index_manager.bump_epoch()
         finally:
             self._release_all()
         self.status = "aborted"

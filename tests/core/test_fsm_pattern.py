@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.core.fsm import register_type
 from repro.core.fsm.pattern import (
-    ALPHABET,
     PatternError,
     compile_pattern,
     pattern_plugin,

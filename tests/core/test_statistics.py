@@ -101,6 +101,45 @@ class TestIndexStatistics:
         second = m.statistics("double")
         assert second is not first
 
+    def test_drift_refresh_rebuilds_histogram(self):
+        """Once mutations pass the drift threshold the snapshot is
+        recomputed and its histogram reflects the *new* values."""
+        m = IndexManager(typed=("double",))
+        m.load(
+            "doc", "<r>" + "".join(f"<v>{i}</v>" for i in range(200)) + "</r>"
+        )
+        stale = m.statistics("double")
+        assert stale.estimate("<=", 199.0) > 100
+        doc = m.store.document("doc")
+        from repro.xmldb import TEXT
+
+        texts = [doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT]
+        # Move every value three orders of magnitude up, well past the
+        # max(100, 10%) drift threshold.
+        m.update_texts([(nid, str(100_000 + nid)) for nid in texts])
+        fresh = m.statistics("double")
+        assert fresh is not stale
+        assert fresh.estimate("<=", 199.0) < stale.estimate("<=", 199.0)
+        assert fresh.estimate(">=", 100_000.0) > 100
+        counters = m.metrics.snapshot()["counters"]
+        assert counters["statistics.refreshes"] == 2
+
+    def test_small_drift_keeps_snapshot(self):
+        m = IndexManager(typed=("double",))
+        m.load(
+            "doc", "<r>" + "".join(f"<v>{i}</v>" for i in range(200)) + "</r>"
+        )
+        first = m.statistics("double")
+        doc = m.store.document("doc")
+        from repro.xmldb import TEXT
+
+        nid = next(
+            doc.nid[p] for p in range(len(doc)) if doc.kind[p] == TEXT
+        )
+        m.update_text(nid, "9999")  # far below the drift threshold
+        assert m.statistics("double") is first
+        assert m.metrics.snapshot()["counters"]["statistics.cached"] >= 1
+
     def test_string_stats_requires_index(self):
         m = IndexManager(string=False, typed=("double",))
         from repro.errors import IndexError_

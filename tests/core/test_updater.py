@@ -3,7 +3,6 @@ structural updates, including the update ≡ rebuild property."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,77 @@
+"""Tests for the zero-dependency metrics layer."""
+
+from repro.obs import Counter, MetricsRegistry, TimerHistogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestTimerHistogram:
+    def test_observe_tracks_aggregates(self):
+        timer = TimerHistogram("t")
+        timer.observe(0.001)
+        timer.observe(0.003)
+        assert timer.count == 2
+        assert timer.total == 0.004
+        assert timer.minimum == 0.001
+        assert timer.maximum == 0.003
+        assert timer.mean == 0.002
+
+    def test_power_of_two_buckets(self):
+        timer = TimerHistogram("t")
+        timer.observe(0.0)  # bucket 0 (<= 1us)
+        timer.observe(3e-6)  # 3us -> bucket 2 (<= 4us)
+        timer.observe(1000.0)  # far beyond range -> last bucket
+        assert timer.buckets[0] == 1
+        assert timer.buckets[2] == 1
+        assert timer.buckets[-1] == 1
+
+    def test_time_context_manager(self):
+        timer = TimerHistogram("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_snapshot_shape(self):
+        timer = TimerHistogram("t")
+        assert timer.snapshot()["min_s"] == 0.0  # empty: no inf leaks out
+        timer.observe(3e-6)
+        snap = timer.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"] == {"<4us": 1}
+
+
+class TestMetricsRegistry:
+    def test_counter_identity_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(3)
+        registry.timer("latency").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"queries": 3}
+        assert snap["timers"]["latency"]["count"] == 1
+        import json
+
+        json.dumps(snap)  # must be JSON-serialisable as-is
+
+    def test_reset_clears_values_keeps_names(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.timer("t").observe(0.1)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.timer("t").count == 0
+        # Same objects for counters (callers may hold references).
+        assert registry.counter("c") is counter

@@ -1,0 +1,130 @@
+"""Plan-cache behaviour: hits on repeats, invalidation on mutation.
+
+Cached plans never embed results (execution always re-reads the
+indices), but a stale plan could still carry outdated cost decisions —
+and above all, a cached plan served after a mutation must return the
+*current* document state.  These tests drive every mutation kind
+through the public API and check both the counters and the results.
+"""
+
+from repro.core import IndexManager
+from repro.query import query
+from repro.xmldb import TEXT
+
+XML = (
+    "<people>"
+    "<p><age>42</age><name>Arthur</name></p>"
+    "<p><age>7</age><name>Ford</name></p>"
+    "<p><age>99</age><name>Marvin</name></p>"
+    "</people>"
+)
+
+Q = "//p[.//age = 42]"
+
+
+def _manager():
+    m = IndexManager(typed=("double",))
+    m.load("people", XML)
+    return m
+
+
+def _counters(m):
+    return m.metrics.snapshot()["counters"]
+
+
+def _text_nid(m, content):
+    doc = m.store.document("people")
+    for pre in range(len(doc)):
+        if doc.kind[pre] == TEXT and doc.text_of(pre) == content:
+            return doc.nid[pre]
+    raise AssertionError(content)
+
+
+def _names_of(m, nids):
+    out = []
+    for nid in nids:
+        doc, pre = m.store.node(nid)
+        for child in doc.children(pre):
+            if doc.name_of(child) == "name":
+                out.append(doc.string_value(child))
+    return sorted(out)
+
+
+class TestCacheHits:
+    def test_repeat_query_hits_cache(self):
+        m = _manager()
+        first = query(m, Q)
+        for _ in range(5):
+            assert query(m, Q) == first
+        counters = _counters(m)
+        assert counters["query.plan_cache.misses"] == 1
+        assert counters["query.plan_cache.hits"] == 5
+
+    def test_modes_are_cached_separately(self):
+        m = _manager()
+        query(m, Q, use_indexes=True)
+        query(m, Q, use_indexes="auto")
+        query(m, Q, use_indexes=False)
+        assert _counters(m)["query.plan_cache.misses"] == 3
+
+    def test_cache_is_bounded(self):
+        from repro.query.planner import PLAN_CACHE_SIZE
+
+        m = _manager()
+        for i in range(PLAN_CACHE_SIZE + 50):
+            query(m, f"//p[.//age = {i}]")
+        assert len(m._plan_cache) <= PLAN_CACHE_SIZE
+
+
+class TestCacheInvalidation:
+    def test_update_text_invalidates(self):
+        m = _manager()
+        assert _names_of(m, query(m, Q)) == ["Arthur"]
+        m.update_text(_text_nid(m, "7"), "42")
+        assert _names_of(m, query(m, Q)) == ["Arthur", "Ford"]
+        counters = _counters(m)
+        assert counters["query.plan_cache.misses"] == 2
+
+    def test_insert_xml_invalidates(self):
+        m = _manager()
+        assert len(query(m, Q)) == 1
+        doc = m.store.document("people")
+        people_elem = next(iter(doc.children(0)))
+        m.insert_xml(doc.nid[people_elem],
+                     "<p><age>42</age><name>Zaphod</name></p>")
+        assert _names_of(m, query(m, Q)) == ["Arthur", "Zaphod"]
+
+    def test_delete_subtree_invalidates(self):
+        m = _manager()
+        hits = query(m, Q)
+        assert len(hits) == 1
+        m.delete_subtree(hits[0])
+        assert query(m, Q) == []
+
+    def test_unload_invalidates(self):
+        m = _manager()
+        assert query(m, Q)
+        m.unload("people")
+        m.load("people", "<people><p><age>1</age></p></people>")
+        assert query(m, Q) == []
+
+    def test_epoch_advances_per_mutation(self):
+        m = _manager()
+        start = m.epoch
+        m.update_text(_text_nid(m, "Ford"), "Prefect")
+        owner = query(m, Q)[0]  # a <p> element
+        m.insert_attribute(owner, "id", "x")
+        assert m.epoch >= start + 2
+
+
+class TestDatabaseFacade:
+    def test_metrics_expose_cache_counters(self, tmp_path):
+        from repro.database import Database
+
+        with Database(str(tmp_path / "db")) as db:
+            db.load("people", XML)
+            db.query(Q)
+            db.query(Q)
+            counters = db.metrics()["counters"]
+            assert counters["query.plan_cache.hits"] >= 1
+            assert counters["wal.truncates"] >= 1

@@ -1,0 +1,96 @@
+"""Planner routing through arbitrary configured typed indices.
+
+The planner must not assume a ``double`` index exists: numeric
+comparisons route through any configured index whose plugin implements
+xs:double, temporal comparisons (quoted literals with an order
+operator) route through an index of the literal's detected type, and
+anything uncovered falls back to the naive scan with identical results.
+"""
+
+from repro.core import IndexManager
+from repro.query import evaluate_naive, explain, parse_query, query
+
+EVENTS = (
+    "<log>"
+    "<event><at>2002-05-06T10:00:00</at><code>7</code></event>"
+    "<event><at>2002-05-06T12:30:00</at><code>42</code></event>"
+    "<event><at>2003-01-01T00:00:00</at><code>42</code></event>"
+    "</log>"
+)
+
+
+def _naive(manager, text):
+    doc = manager.store.document("log")
+    return [doc.nid[p] for p in evaluate_naive(doc, parse_query(text).path)]
+
+
+class TestDateTimeOnlyManager:
+    """A manager configured with *only* a dateTime index."""
+
+    def _manager(self):
+        m = IndexManager(typed=("dateTime",))
+        m.load("log", EVENTS)
+        return m
+
+    def test_temporal_range_uses_datetime_index(self):
+        m = self._manager()
+        text = '//event[.//at >= "2002-05-06T11:00:00"]'
+        assert explain(m, text) == "index(dateTime)"
+        for mode in (True, False, "auto"):
+            assert query(m, text, use_indexes=mode) == _naive(m, text)
+        assert len(query(m, text)) == 2
+
+    def test_all_order_ops(self):
+        m = self._manager()
+        for op in ("<", "<=", ">", ">="):
+            text = f'//event[.//at {op} "2002-05-06T12:30:00"]'
+            assert explain(m, text).startswith("index")
+            assert query(m, text) == _naive(m, text), op
+
+    def test_numeric_comparison_falls_back_to_scan(self):
+        """No double-domain index configured: numeric predicates scan
+        (a dateTime index cannot answer xs:double casts)."""
+        m = self._manager()
+        text = "//event[.//code = 42]"
+        assert explain(m, text) == "scan"
+        assert query(m, text) == _naive(m, text)
+        assert len(query(m, text)) == 2
+
+    def test_temporal_equality_stays_on_string_index(self):
+        """``=`` against a quoted literal keeps string-equality
+        semantics and the string index."""
+        m = self._manager()
+        text = '//event[.//at = "2003-01-01T00:00:00"]'
+        assert explain(m, text) == "index(string)"
+        assert query(m, text) == _naive(m, text)
+
+
+class TestMixedManagers:
+    def test_numeric_routes_through_double_index(self):
+        m = IndexManager(typed=("dateTime", "double"))
+        m.load("log", EVENTS)
+        text = "//event[.//code = 42]"
+        assert explain(m, text) == "index(double)"
+        assert query(m, text) == _naive(m, text)
+
+    def test_date_literal_picks_date_index(self):
+        m = IndexManager(typed=("date",))
+        m.load(
+            "log",
+            "<log><d>2001-01-01</d><d>2002-06-06</d><d>2003-12-31</d></log>",
+        )
+        text = '//d[. > "2002-01-01"]'
+        doc = m.store.document("log")
+        naive = [
+            doc.nid[p] for p in evaluate_naive(doc, parse_query(text).path)
+        ]
+        assert query(m, text) == naive
+        assert len(naive) == 2
+
+    def test_temporal_literal_without_matching_index_scans(self):
+        m = IndexManager(typed=("double",))
+        m.load("log", EVENTS)
+        text = '//event[.//at >= "2002-05-06T11:00:00"]'
+        assert explain(m, text) == "scan"
+        assert query(m, text) == _naive(m, text)
+        assert len(query(m, text)) == 2

@@ -1,7 +1,6 @@
 """Tests for the on-disk persistence layer."""
 
 import json
-import os
 
 import pytest
 

@@ -6,7 +6,9 @@ import pytest
 
 from repro.database import Database
 from repro.storage.wal import (
+    DELETE_ATTRIBUTE,
     DELETE_SUBTREE,
+    INSERT_ATTRIBUTE,
     TEXT_UPDATE,
     WalRecord,
     WriteAheadLog,
@@ -174,6 +176,45 @@ class TestDatabase:
         assert "<years>" in doc.serialize()
         assert 'id="p1"' not in doc.serialize()
         recovered.manager.check_consistency()
+        recovered.close()
+
+    def test_delete_attribute_logs_dedicated_record(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        db.load("person", PERSON)
+        change = db.insert_attribute(elem_nid(db, "person"), "id", "p1")
+        db.delete_attribute(change.added_nids[0])
+        records = list(replay_records(os.path.join(path, "wal.log")))
+        assert [r.kind for r in records[-2:]] == [
+            INSERT_ATTRIBUTE,
+            DELETE_ATTRIBUTE,
+        ]
+        # Crash recovery replays it through the attribute-checked path.
+        del db
+        recovered = Database(path)
+        assert recovered.recovered_records == 2
+        assert 'id="p1"' not in recovered.store.document("person").serialize()
+        recovered.manager.check_consistency()
+        recovered.close()
+
+    def test_legacy_delete_subtree_record_still_replays_attributes(
+        self, tmp_path
+    ):
+        """Logs written before DELETE_ATTRIBUTE existed carry a
+        DELETE_SUBTREE record for attribute deletes; they must keep
+        replaying."""
+        path = str(tmp_path / "db")
+        db = Database(path)
+        db.load("person", PERSON)
+        change = db.insert_attribute(elem_nid(db, "person"), "id", "p1")
+        db.checkpoint()
+        attr_nid = change.added_nids[0]
+        db.manager.delete_attribute(attr_nid)  # apply without logging...
+        db._wal.append(WalRecord(DELETE_SUBTREE, attr_nid))  # ...legacy form
+        db._wal.close()
+        recovered = Database(path)
+        assert recovered.recovered_records == 1
+        assert 'id="p1"' not in recovered.store.document("person").serialize()
         recovered.close()
 
     def test_existing_config_preserved(self, tmp_path):

@@ -7,7 +7,6 @@ and invariants that must survive every stage are checked.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
