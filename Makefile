@@ -1,9 +1,12 @@
 # Tiered checks for the reproduction.
 #
-#   make test    — tier-1: lint (when ruff is available) + the full
-#                  unit/property suite (ROADMAP verify)
+#   make test    — tier-1: lint (when ruff is available) + the
+#                  crash-recovery fault suite + the full unit/property
+#                  suite (ROADMAP verify)
 #   make lint    — ruff over src/ (config in pyproject.toml); skipped
 #                  with a notice when ruff is not installed
+#   make faults  — just the fault-injection crash-recovery suite
+#                  (docs/durability.md)
 #   make bench   — tier-2: paper experiments + ablations at the default
 #                  bench scale, including the parallel-creation curve
 #                  (emits BENCH_parallel_build.json)
@@ -13,7 +16,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 REPRO_BENCH_SCALE ?= 0.12
 
-.PHONY: test lint bench bench-parallel
+.PHONY: test lint faults bench bench-parallel
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -22,7 +25,10 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-test: lint
+faults:
+	$(PYTHON) -m pytest tests/faults -q
+
+test: lint faults
 	$(PYTHON) -m pytest -x -q
 
 bench:

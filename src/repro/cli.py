@@ -65,6 +65,17 @@ def _open(path: str, parallel: int | str | None = None,
     db = Database(path, parallel=parallel, parallel_backend=parallel_backend)
     if db.recovered_records:
         print(f"(recovered {db.recovered_records} update(s) from the WAL)")
+    report = db.recovery
+    details = []
+    if report.skipped_epoch:
+        details.append(f"{report.skipped_epoch} already-checkpointed "
+                       "record(s) skipped")
+    if report.rejected_crc:
+        details.append(f"{report.rejected_crc} record(s) rejected by CRC")
+    if report.torn_tail:
+        details.append("torn tail discarded")
+    if details:
+        print(f"(WAL recovery: {'; '.join(details)})")
     return db
 
 

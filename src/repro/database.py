@@ -18,12 +18,19 @@ Example::
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from .core import IndexManager
 from .query import explain as _explain
 from .query import query as _query
-from .storage.persist import load_manager, save_manager
+from .storage import faults
+from .storage.persist import (
+    load_manager,
+    manifest_epoch,
+    read_manifest,
+    save_manager,
+)
 from .storage.wal import (
     DELETE_ATTRIBUTE,
     DELETE_SUBTREE,
@@ -31,15 +38,42 @@ from .storage.wal import (
     INSERT_XML,
     RENAME,
     TEXT_UPDATE,
+    ReplayStats,
     WalRecord,
     WriteAheadLog,
     replay_records,
 )
 
-__all__ = ["Database"]
+__all__ = ["Database", "RecoveryReport"]
 
 _WAL_FILE = "wal.log"
 _MANIFEST = "MANIFEST.json"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What opening an existing database found in its WAL.
+
+    * ``replayed`` — records applied through the maintenance path;
+    * ``skipped_epoch`` — records from epochs the committed snapshot
+      already folded in (e.g. a crash landed between the snapshot
+      commit and the WAL truncate);
+    * ``rejected_crc`` — frames whose checksum or body failed to
+      verify (bit flips, or garbage after a torn frame);
+    * ``torn_tail`` — incomplete final frames from a crash mid-append;
+    * ``wal_format`` — on-disk WAL format version that was read back.
+    """
+
+    replayed: int = 0
+    skipped_epoch: int = 0
+    rejected_crc: int = 0
+    torn_tail: int = 0
+    wal_format: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.replayed or self.skipped_epoch
+                    or self.rejected_crc or self.torn_tail)
 
 
 class Database:
@@ -75,29 +109,70 @@ class Database:
         self._pending = 0
         wal_path = os.path.join(path, _WAL_FILE)
         if os.path.exists(os.path.join(path, _MANIFEST)):
+            manifest = read_manifest(path)
+            self.checkpoint_epoch = manifest_epoch(manifest)
             self.manager = load_manager(path)
-            replayed = 0
-            for record in replay_records(wal_path):
+            stats = ReplayStats()
+            replayed = skipped = 0
+            for record in replay_records(wal_path, stats):
+                if record.epoch < self.checkpoint_epoch:
+                    # Already folded into the committed snapshot (a
+                    # crash hit between snapshot commit and WAL
+                    # truncate); replaying would double-apply it.
+                    skipped += 1
+                    continue
                 self._apply(record)
                 replayed += 1
             self.recovered_records = replayed
+            self.recovery = RecoveryReport(
+                replayed=replayed,
+                skipped_epoch=skipped,
+                rejected_crc=stats.rejected_crc,
+                torn_tail=stats.torn_tail,
+                wal_format=stats.format_version,
+            )
             if replayed:
                 # Fold the replayed tail into a fresh checkpoint.
-                save_manager(self.manager, path)
+                faults.crashpoint("recovery.before_refold")
+                self.checkpoint_epoch = save_manager(
+                    self.manager, path, epoch=self.checkpoint_epoch + 1
+                )
+                faults.crashpoint("recovery.refolded")
         else:
             os.makedirs(path, exist_ok=True)
             self.manager = IndexManager(
                 string=string, typed=tuple(typed), substring=substring
             )
-            save_manager(self.manager, path)
+            self.checkpoint_epoch = save_manager(self.manager, path)
             self.recovered_records = 0
+            self.recovery = RecoveryReport()
         self.manager.parallel = parallel
         self.manager.parallel_backend = parallel_backend
+        self._record_recovery_metrics()
         self._wal = WriteAheadLog(
-            wal_path, sync=sync, metrics=self.manager.metrics
+            wal_path, sync=sync, metrics=self.manager.metrics,
+            epoch=self.checkpoint_epoch,
         )
-        if self.recovered_records:
-            self._wal.truncate()
+        if not self.recovery.clean or self._wal.needs_upgrade:
+            # Replayed records are folded, stale/corrupt records must
+            # not survive, and legacy logs upgrade to the framed format.
+            self._wal.truncate(epoch=self.checkpoint_epoch)
+
+    def _record_recovery_metrics(self) -> None:
+        metrics = self.manager.metrics
+        report = self.recovery
+        if report.replayed:
+            metrics.counter("wal.recovery.replayed").inc(report.replayed)
+        if report.skipped_epoch:
+            metrics.counter("wal.recovery.skipped_epoch").inc(
+                report.skipped_epoch
+            )
+        if report.rejected_crc:
+            metrics.counter("wal.recovery.rejected_crc").inc(
+                report.rejected_crc
+            )
+        if report.torn_tail:
+            metrics.counter("wal.recovery.torn_tail").inc(report.torn_tail)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -231,9 +306,18 @@ class Database:
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Snapshot everything and reset the log."""
-        save_manager(self.manager, self.path)
-        self._wal.truncate()
+        """Snapshot everything and reset the log.
+
+        The snapshot commits atomically under the next checkpoint epoch
+        (manifest written last); only then is the WAL truncated and
+        moved to the new epoch.  A crash in between is safe: recovery
+        skips WAL records whose epoch predates the committed snapshot.
+        """
+        self.checkpoint_epoch = save_manager(
+            self.manager, self.path, epoch=self.checkpoint_epoch + 1
+        )
+        faults.crashpoint("checkpoint.after_snapshot")
+        self._wal.truncate(epoch=self.checkpoint_epoch)
         self._pending = 0
 
     def close(self, checkpoint: bool = True) -> None:

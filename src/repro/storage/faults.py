@@ -1,0 +1,158 @@
+"""Fault injection for the durability layer.
+
+The persistence and WAL code paths are threaded with named
+*crashpoints* (:func:`crashpoint`) and route their file writes and
+reads through :func:`fault_write` / :func:`filter_read`.  In
+production no injector is installed and every hook is a cheap
+``is None`` check.  Tests install a :class:`FaultInjector` (via
+:func:`injected`) to
+
+* record every crashpoint hit, so a recovery suite can enumerate the
+  points a workload actually crosses;
+* simulate a power cut at the Nth hit of a chosen point by raising
+  :class:`InjectedCrash`;
+* simulate a *torn write* — only a prefix of the data reaches the file
+  before the crash — at write-shaped points;
+* simulate a *short read* — the tail of a file is missing — at
+  read-shaped points.
+
+:class:`InjectedCrash` deliberately derives from ``BaseException`` so
+that ordinary ``except Exception`` error handling inside the storage
+layer cannot absorb a simulated power cut.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import BinaryIO, Iterator
+
+__all__ = [
+    "InjectedCrash",
+    "CrashPlan",
+    "FaultInjector",
+    "active",
+    "injected",
+    "crashpoint",
+    "fault_write",
+    "filter_read",
+]
+
+
+class InjectedCrash(BaseException):
+    """A simulated power cut raised at an armed crashpoint."""
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"injected crash at {point!r} (hit #{occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class CrashPlan:
+    """Crash at the ``occurrence``-th hit of ``point``.
+
+    ``keep_bytes`` applies only when the point is a write: that many
+    bytes of the attempted write reach the file before the crash
+    (a torn write).  ``None`` means the write never starts.
+    """
+
+    def __init__(self, point: str, occurrence: int = 1,
+                 keep_bytes: int | None = None):
+        if occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+        self.point = point
+        self.occurrence = occurrence
+        self.keep_bytes = keep_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CrashPlan({self.point!r}, occurrence={self.occurrence}, "
+                f"keep_bytes={self.keep_bytes})")
+
+
+class FaultInjector:
+    """Counts crashpoint hits and fires the configured faults.
+
+    Args:
+        crash: Optional :class:`CrashPlan` to arm.
+        short_reads: ``{point: keep_bytes}`` — reads at ``point`` are
+            truncated to the first ``keep_bytes`` bytes.
+    """
+
+    def __init__(self, crash: CrashPlan | None = None,
+                 short_reads: dict[str, int] | None = None):
+        self.crash = crash
+        self.short_reads = dict(short_reads or {})
+        self.hits: dict[str, int] = {}
+        self.trace: list[str] = []
+
+    def _register(self, point: str) -> int:
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        self.trace.append(point)
+        return count
+
+    def _should_crash(self, point: str, count: int) -> bool:
+        plan = self.crash
+        return (plan is not None and plan.point == point
+                and count == plan.occurrence)
+
+    def on_crashpoint(self, point: str) -> None:
+        count = self._register(point)
+        if self._should_crash(point, count):
+            raise InjectedCrash(point, count)
+
+    def on_write(self, fh: BinaryIO, data: bytes, point: str) -> None:
+        count = self._register(point)
+        if self._should_crash(point, count):
+            keep = self.crash.keep_bytes
+            if keep:
+                fh.write(data[:keep])
+                fh.flush()
+            raise InjectedCrash(point, count)
+        fh.write(data)
+
+    def on_read(self, data: bytes, point: str) -> bytes:
+        keep = self.short_reads.get(point)
+        if keep is not None:
+            return data[:keep]
+        return data
+
+
+_INJECTOR: FaultInjector | None = None
+
+
+def active() -> FaultInjector | None:
+    """The currently installed injector, if any."""
+    return _INJECTOR
+
+
+@contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of the block."""
+    global _INJECTOR
+    previous = _INJECTOR
+    _INJECTOR = injector
+    try:
+        yield injector
+    finally:
+        _INJECTOR = previous
+
+
+def crashpoint(point: str) -> None:
+    """Mark a crash-consistency boundary in the storage code."""
+    if _INJECTOR is not None:
+        _INJECTOR.on_crashpoint(point)
+
+
+def fault_write(fh: BinaryIO, data: bytes, point: str) -> None:
+    """``fh.write(data)``, possibly torn by the installed injector."""
+    if _INJECTOR is None:
+        fh.write(data)
+    else:
+        _INJECTOR.on_write(fh, data, point)
+
+
+def filter_read(data: bytes, point: str) -> bytes:
+    """Pass read bytes through the injector's short-read simulation."""
+    if _INJECTOR is None:
+        return data
+    return _INJECTOR.on_read(data, point)

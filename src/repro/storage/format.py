@@ -24,6 +24,7 @@ __all__ = [
     "FormatError",
     "MAGIC",
     "VERSION",
+    "SUPPORTED_VERSIONS",
     "write_header",
     "read_header",
     "write_section",
@@ -37,22 +38,31 @@ __all__ = [
 MAGIC = b"RXDB"
 VERSION = 1
 
+#: Header versions this reader understands.  Version 1 is the original
+#: section format (documents, indices, unframed WAL records); version 2
+#: marks a CRC-framed WAL body.  Data files keep writing version 1 (the
+#: section layout is unchanged); readers accept both.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
 
 class FormatError(ReproError):
     """Raised on malformed or incompatible files."""
 
 
-def write_header(fh: BinaryIO) -> None:
+def write_header(fh: BinaryIO, version: int = VERSION) -> None:
     fh.write(MAGIC)
-    fh.write(struct.pack("<I", VERSION))
+    fh.write(struct.pack("<I", version))
 
 
 def read_header(fh: BinaryIO) -> int:
     magic = fh.read(4)
     if magic != MAGIC:
         raise FormatError(f"bad magic {magic!r}; not a repro database file")
-    (version,) = struct.unpack("<I", fh.read(4))
-    if version != VERSION:
+    raw = fh.read(4)
+    if len(raw) != 4:
+        raise FormatError("truncated header")
+    (version,) = struct.unpack("<I", raw)
+    if version not in SUPPORTED_VERSIONS:
         raise FormatError(f"unsupported format version {version}")
     return version
 

@@ -2,15 +2,26 @@
 
 Layout of a database directory::
 
-    MANIFEST.json        store metadata: documents, nid counter, index config
-    <doc>.doc            one file per document (columns + heaps)
-    <doc>.sidx           string-index hash column for the document
-    <doc>.<type>.tidx    typed-index fragments for the document
+    MANIFEST.json        store metadata: documents, nid counter, index
+                         config, checkpoint epoch
+    <stem>.doc           one file per document (columns + heaps)
+    <stem>.sidx          string-index hash column for the document
+    <stem>.<type>.tidx   typed-index fragments for the document
 
 The string and typed indices persist their per-node fields (the
 expensive part: hashing/FSM over all text); their B-trees are
 rebuilt by bulk load at open, and the optional substring index is
 re-derived from the leaves.  Documents round-trip exactly.
+
+Snapshots commit atomically (see ``docs/durability.md``): every data
+file is written to a temp name, fsynced and renamed under an
+epoch-suffixed stem (``<name>@<epoch>``), and the manifest — which
+names exactly the files belonging to the snapshot and carries the
+monotonically increasing checkpoint epoch — is replaced *last*.  A
+crash at any intermediate point leaves the previous manifest pointing
+at the previous epoch's untouched files; stale epochs are garbage
+collected after the next successful commit.  Version-1 directories
+(no epoch in the manifest, unsuffixed stems) still load.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from ..core.typed_index import TypedIndex
 from ..errors import ReproError
 from ..xmldb.document import Document
 from ..xmldb.store import Store
+from . import faults
 from .format import (
     FormatError,
     encode_varint,
@@ -38,9 +50,20 @@ from .format import (
     write_section,
 )
 
-__all__ = ["save_store", "load_store", "save_manager", "load_manager"]
+__all__ = [
+    "save_store",
+    "load_store",
+    "save_manager",
+    "load_manager",
+    "read_manifest",
+    "manifest_epoch",
+]
 
 _MANIFEST = "MANIFEST.json"
+
+#: Manifest schema version written by this code (1 had no epoch and
+#: overwrote files in place; readers accept both).
+_MANIFEST_VERSION = 2
 
 
 def _doc_filename(name: str) -> str:
@@ -48,48 +71,173 @@ def _doc_filename(name: str) -> str:
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
 
 
+def _assign_stems(names, epoch: int) -> dict[str, str]:
+    """Unique epoch-suffixed stems for the documents of one snapshot.
+
+    Sanitising can collide (``a/b`` and ``a_b`` both map to ``a_b``);
+    colliding stems get a ``~N`` suffix, recorded in the manifest so
+    loaders never re-derive stems from names.  ``~`` and ``@`` cannot
+    appear in a sanitised stem, so the suffixes are unambiguous.
+    """
+    stems: dict[str, str] = {}
+    used: set[str] = set()
+    for name in names:
+        base = _doc_filename(name)
+        candidate = base
+        serial = 2
+        while candidate in used:
+            candidate = f"{base}~{serial}"
+            serial += 1
+        used.add(candidate)
+        stems[name] = f"{candidate}@{epoch}"
+    return stems
+
+
+# ---------------------------------------------------------------------------
+# Atomic commit machinery
+# ---------------------------------------------------------------------------
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(final_path: str, data: bytes, point: str) -> None:
+    """Write ``data`` to a temp file, fsync, rename over ``final_path``."""
+    tmp = final_path + ".tmp"
+    with open(tmp, "wb") as fh:
+        faults.fault_write(fh, data, f"{point}.write")
+        fh.flush()
+        os.fsync(fh.fileno())
+    faults.crashpoint(f"{point}.before_rename")
+    os.replace(tmp, final_path)
+    faults.crashpoint(f"{point}.renamed")
+
+
+def _commit_files(path: str, files: dict[str, bytes]) -> None:
+    for filename, data in files.items():
+        _atomic_write(os.path.join(path, filename), data, "persist.file")
+    _fsync_dir(path)
+    faults.crashpoint("persist.files_committed")
+
+
+def _commit_manifest(path: str, manifest: dict) -> None:
+    data = json.dumps(manifest, indent=2).encode("utf-8")
+    faults.crashpoint("persist.before_manifest")
+    _atomic_write(os.path.join(path, _MANIFEST), data, "persist.manifest")
+    _fsync_dir(path)
+    faults.crashpoint("persist.manifest_committed")
+
+
+def _stem_of_data_file(entry: str) -> str | None:
+    """The document stem a data file belongs to, else ``None``."""
+    if entry.endswith(".doc"):
+        return entry[:-4]
+    if entry.endswith(".sidx"):
+        return entry[:-5]
+    if entry.endswith(".tidx"):
+        stem, sep, _type = entry[:-5].rpartition(".")
+        return stem if sep else None
+    return None
+
+
+def _gc_stale_files(path: str, manifest: dict) -> None:
+    """Delete data files no committed manifest references.
+
+    Runs only after a successful manifest commit, so everything it
+    removes belongs to superseded epochs or crashed partial commits
+    (leftover ``.tmp`` files).
+    """
+    referenced = set(manifest.get("documents", {}).values())
+    for entry in os.listdir(path):
+        if entry.endswith(".tmp"):
+            stale = True
+        else:
+            stem = _stem_of_data_file(entry)
+            stale = stem is not None and stem not in referenced
+        if stale:
+            try:
+                os.remove(os.path.join(path, entry))
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    faults.crashpoint("persist.gc_done")
+
+
+def read_manifest(path: str) -> dict | None:
+    """The committed manifest of ``path``, or ``None`` if absent."""
+    manifest_path = os.path.join(path, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        return None
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != "repro-xmldb":
+        raise FormatError(f"{manifest_path!r} is not a repro database")
+    return manifest
+
+
+def manifest_epoch(manifest: dict | None) -> int:
+    """Checkpoint epoch of a manifest (0 for version-1 manifests)."""
+    if manifest is None:
+        return 0
+    return int(manifest.get("epoch", 0))
+
+
+def _next_epoch(path: str) -> int:
+    try:
+        return manifest_epoch(read_manifest(path)) + 1
+    except (FormatError, ValueError, json.JSONDecodeError):
+        return 1
+
+
 # ---------------------------------------------------------------------------
 # Documents
 # ---------------------------------------------------------------------------
 
 
-def _write_document(doc: Document, path: str) -> None:
-    with open(path, "wb") as fh:
-        write_header(fh)
-        write_section(fh, "KIND", pack_array(doc.kind, "u1"))
-        write_section(fh, "SIZE", pack_array(doc.size, "<u4"))
-        write_section(fh, "LEVL", pack_array(doc.level, "<u2"))
-        write_section(fh, "NAME", pack_array(doc.name_id, "<i4"))
-        write_section(fh, "TEXT", pack_array(doc.text_id, "<i4"))
-        write_section(fh, "NIDS", pack_array(doc.nid, "<u8"))
-        write_section(fh, "PRNT", pack_array(doc.parent_nid, "<i8"))
-        heap = io.BytesIO()
-        offsets = []
-        for text in doc.texts:
-            offsets.append(heap.tell())
-            heap.write(text.encode("utf-8"))
+def _document_bytes(doc: Document) -> bytes:
+    fh = io.BytesIO()
+    write_header(fh)
+    write_section(fh, "KIND", pack_array(doc.kind, "u1"))
+    write_section(fh, "SIZE", pack_array(doc.size, "<u4"))
+    write_section(fh, "LEVL", pack_array(doc.level, "<u2"))
+    write_section(fh, "NAME", pack_array(doc.name_id, "<i4"))
+    write_section(fh, "TEXT", pack_array(doc.text_id, "<i4"))
+    write_section(fh, "NIDS", pack_array(doc.nid, "<u8"))
+    write_section(fh, "PRNT", pack_array(doc.parent_nid, "<i8"))
+    heap = io.BytesIO()
+    offsets = []
+    for text in doc.texts:
         offsets.append(heap.tell())
-        write_section(fh, "HEAP", heap.getvalue())
-        write_section(fh, "HOFF", pack_array(offsets, "<u8"))
-        names = [doc.vocabulary.name_of(i) for i in range(len(doc.vocabulary))]
-        vocab_blob = io.BytesIO()
-        vocab_offsets = []
-        for name in names:
-            vocab_offsets.append(vocab_blob.tell())
-            vocab_blob.write(name.encode("utf-8"))
+        heap.write(text.encode("utf-8"))
+    offsets.append(heap.tell())
+    write_section(fh, "HEAP", heap.getvalue())
+    write_section(fh, "HOFF", pack_array(offsets, "<u8"))
+    names = [doc.vocabulary.name_of(i) for i in range(len(doc.vocabulary))]
+    vocab_blob = io.BytesIO()
+    vocab_offsets = []
+    for name in names:
         vocab_offsets.append(vocab_blob.tell())
-        write_section(fh, "VOCB", vocab_blob.getvalue())
-        write_section(fh, "VOFF", pack_array(vocab_offsets, "<u8"))
-        write_section(fh, "SRCB", pack_array([doc.source_bytes], "<u8"))
+        vocab_blob.write(name.encode("utf-8"))
+    vocab_offsets.append(vocab_blob.tell())
+    write_section(fh, "VOCB", vocab_blob.getvalue())
+    write_section(fh, "VOFF", pack_array(vocab_offsets, "<u8"))
+    write_section(fh, "SRCB", pack_array([doc.source_bytes], "<u8"))
+    return fh.getvalue()
 
 
 def _read_document(name: str, path: str) -> Document:
     doc = Document(name)
     sections: dict[str, bytes] = {}
     with open(path, "rb") as fh:
-        read_header(fh)
-        for tag, payload in read_sections(fh):
-            sections[tag] = payload
+        payload = faults.filter_read(fh.read(), "persist.read_doc")
+    buf = io.BytesIO(payload)
+    read_header(buf)
+    for tag, section in read_sections(buf):
+        sections[tag] = section
     required = {"KIND", "SIZE", "LEVL", "NAME", "TEXT", "NIDS", "PRNT",
                 "HEAP", "HOFF", "VOCB", "VOFF"}
     missing = required - set(sections)
@@ -125,31 +273,38 @@ def _read_document(name: str, path: str) -> Document:
 # ---------------------------------------------------------------------------
 
 
-def save_store(store: Store, path: str) -> None:
-    """Write all documents plus the manifest to directory ``path``."""
-    os.makedirs(path, exist_ok=True)
-    documents = {}
-    for name, doc in store.documents.items():
-        stem = _doc_filename(name)
-        _write_document(doc, os.path.join(path, f"{stem}.doc"))
-        documents[name] = stem
-    manifest = {
+def _store_manifest(store: Store, stems: dict[str, str], epoch: int) -> dict:
+    return {
         "format": "repro-xmldb",
-        "documents": documents,
+        "version": _MANIFEST_VERSION,
+        "epoch": epoch,
+        "documents": stems,
         "next_nid": store._next_nid,
     }
-    with open(os.path.join(path, _MANIFEST), "w") as fh:
-        json.dump(manifest, fh, indent=2)
+
+
+def save_store(store: Store, path: str, epoch: int | None = None) -> int:
+    """Atomically snapshot all documents plus the manifest to directory
+    ``path``; returns the committed checkpoint epoch."""
+    os.makedirs(path, exist_ok=True)
+    if epoch is None:
+        epoch = _next_epoch(path)
+    stems = _assign_stems(store.documents, epoch)
+    files = {
+        f"{stems[name]}.doc": _document_bytes(doc)
+        for name, doc in store.documents.items()
+    }
+    manifest = _store_manifest(store, stems, epoch)
+    _commit_files(path, files)
+    _commit_manifest(path, manifest)
+    _gc_stale_files(path, manifest)
+    return epoch
 
 
 def _read_manifest(path: str) -> dict:
-    manifest_path = os.path.join(path, _MANIFEST)
-    if not os.path.exists(manifest_path):
+    manifest = read_manifest(path)
+    if manifest is None:
         raise ReproError(f"no {_MANIFEST} in {path!r}")
-    with open(manifest_path) as fh:
-        manifest = json.load(fh)
-    if manifest.get("format") != "repro-xmldb":
-        raise FormatError(f"{manifest_path!r} is not a repro database")
     return manifest
 
 
@@ -169,7 +324,7 @@ def load_store(path: str) -> Store:
 # ---------------------------------------------------------------------------
 
 
-def _write_string_index(index: StringIndex, doc: Document, path: str) -> None:
+def _string_index_bytes(index: StringIndex, doc: Document) -> bytes:
     nids = []
     hashes = []
     for nid in doc.nid:
@@ -177,10 +332,11 @@ def _write_string_index(index: StringIndex, doc: Document, path: str) -> None:
         if field is not None:
             nids.append(nid)
             hashes.append(field)
-    with open(path, "wb") as fh:
-        write_header(fh)
-        write_section(fh, "NIDS", pack_array(nids, "<u8"))
-        write_section(fh, "HASH", pack_array(hashes, "<u4"))
+    fh = io.BytesIO()
+    write_header(fh)
+    write_section(fh, "NIDS", pack_array(nids, "<u8"))
+    write_section(fh, "HASH", pack_array(hashes, "<u4"))
+    return fh.getvalue()
 
 
 def _read_string_index_into(index: StringIndex, path: str) -> None:
@@ -218,14 +374,27 @@ def _unpack_fragment(index: TypedIndex, payload: bytes, offset: int) -> tuple[Fr
             length, offset = decode_varint(payload, offset)
             tokens.append((cid, value, length))
         elif cid in index.plugin.char_class_ids:
-            tokens.append((cid, chr(payload[offset]), 1))
-            offset += 1
+            # The packer wrote the character's full UTF-8 encoding;
+            # consume exactly that many bytes (a single-byte read would
+            # misalign the rest of the stream for non-ASCII payloads).
+            first = payload[offset]
+            if first < 0x80:
+                width = 1
+            elif first >= 0xF0:
+                width = 4
+            elif first >= 0xE0:
+                width = 3
+            else:
+                width = 2
+            char = payload[offset : offset + width].decode("utf-8")
+            tokens.append((cid, char, 1))
+            offset += width
         else:
             tokens.append((cid, None, 1))
     return Fragment(state, tuple(tokens)), offset
 
 
-def _write_typed_index(index: TypedIndex, doc: Document, path: str) -> None:
+def _typed_index_bytes(index: TypedIndex, doc: Document) -> bytes:
     nids = []
     blob = bytearray()
     for nid in doc.nid:
@@ -233,10 +402,11 @@ def _write_typed_index(index: TypedIndex, doc: Document, path: str) -> None:
         if fragment is not None:
             nids.append(nid)
             blob += _pack_fragment(index, fragment)
-    with open(path, "wb") as fh:
-        write_header(fh)
-        write_section(fh, "NIDS", pack_array(nids, "<u8"))
-        write_section(fh, "FRAG", bytes(blob))
+    fh = io.BytesIO()
+    write_header(fh)
+    write_section(fh, "NIDS", pack_array(nids, "<u8"))
+    write_section(fh, "FRAG", bytes(blob))
+    return fh.getvalue()
 
 
 def _read_typed_index_into(index: TypedIndex, path: str) -> None:
@@ -259,10 +429,29 @@ def _read_typed_index_into(index: TypedIndex, path: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def save_manager(manager: IndexManager, path: str) -> None:
-    """Persist the store and all index fields to directory ``path``."""
-    save_store(manager.store, path)
-    manifest = _read_manifest(path)
+def save_manager(manager: IndexManager, path: str,
+                 epoch: int | None = None) -> int:
+    """Atomically snapshot the store and all index fields to directory
+    ``path``; returns the committed checkpoint epoch.
+
+    All data files (documents and index columns) are committed before
+    the manifest; the manifest rename is the commit point.
+    """
+    os.makedirs(path, exist_ok=True)
+    if epoch is None:
+        epoch = _next_epoch(path)
+    stems = _assign_stems(manager.store.documents, epoch)
+    files: dict[str, bytes] = {}
+    for name, doc in manager.store.documents.items():
+        stem = stems[name]
+        files[f"{stem}.doc"] = _document_bytes(doc)
+        if manager.string_index is not None:
+            files[f"{stem}.sidx"] = _string_index_bytes(
+                manager.string_index, doc
+            )
+        for type_name, index in manager.typed_indexes.items():
+            files[f"{stem}.{type_name}.tidx"] = _typed_index_bytes(index, doc)
+    manifest = _store_manifest(manager.store, stems, epoch)
     manifest["indexes"] = {
         "string": manager.string_index is not None,
         "typed": sorted(manager.typed_indexes),
@@ -272,18 +461,10 @@ def save_manager(manager: IndexManager, path: str) -> None:
             else None
         ),
     }
-    for name, doc in manager.store.documents.items():
-        stem = manifest["documents"][name]
-        if manager.string_index is not None:
-            _write_string_index(
-                manager.string_index, doc, os.path.join(path, f"{stem}.sidx")
-            )
-        for type_name, index in manager.typed_indexes.items():
-            _write_typed_index(
-                index, doc, os.path.join(path, f"{stem}.{type_name}.tidx")
-            )
-    with open(os.path.join(path, _MANIFEST), "w") as fh:
-        json.dump(manifest, fh, indent=2)
+    _commit_files(path, files)
+    _commit_manifest(path, manifest)
+    _gc_stale_files(path, manifest)
+    return epoch
 
 
 def load_manager(path: str) -> IndexManager:

@@ -7,18 +7,32 @@ the last snapshot through the ordinary maintenance path, which is
 deterministic (node-id allocation is a plain counter restored by the
 snapshot, so replayed structural updates re-create identical nids).
 
-Record wire format: ``u8`` record type, then type-specific fields —
-varint integers and varint-length-prefixed UTF-8 strings.  The file
-carries the standard ``RXDB`` header.  A torn final record (crash mid
-write) is detected and ignored.
+Wire format (version 2, framed): the file carries the standard
+``RXDB`` header with version 2, then a sequence of frames::
+
+    u32 body length | u32 CRC32(body) | body
+
+where the body is a varint **checkpoint epoch** followed by the record
+payload — ``u8`` record type, then type-specific fields (varint
+integers and varint-length-prefixed UTF-8 strings).  The length prefix
+and checksum mean a torn or bit-flipped tail can never decode as a
+valid shorter record; the epoch lets recovery skip records that a
+committed snapshot already folded in (see ``docs/durability.md``).
+
+Version-1 files (no frames, no epochs) still replay; their records
+report epoch 0, which every snapshot epoch guard treats as
+"not yet folded".
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import struct
+import zlib
+from dataclasses import dataclass, replace
 from typing import BinaryIO, Iterator
 
+from . import faults
 from .format import (
     FormatError,
     decode_varint,
@@ -29,12 +43,14 @@ from .format import (
 
 __all__ = [
     "WalRecord",
+    "ReplayStats",
     "TEXT_UPDATE",
     "INSERT_XML",
     "DELETE_SUBTREE",
     "INSERT_ATTRIBUTE",
     "DELETE_ATTRIBUTE",
     "RENAME",
+    "WAL_VERSION",
     "WriteAheadLog",
     "replay_records",
 ]
@@ -55,6 +71,11 @@ _KNOWN_TYPES = {
     DELETE_ATTRIBUTE,
 }
 
+#: Header version marking a CRC-framed log body.
+WAL_VERSION = 2
+
+_FRAME = struct.Struct("<II")
+
 
 @dataclass(frozen=True)
 class WalRecord:
@@ -68,6 +89,9 @@ class WalRecord:
     * DELETE_ATTRIBUTE: nid (replay re-checks the attribute node kind;
       logs from before this record kind carry DELETE_SUBTREE instead and
       still replay)
+
+    ``epoch`` is the checkpoint epoch the record was appended under
+    (0 for records read back from a version-1 log).
     """
 
     kind: int
@@ -75,6 +99,17 @@ class WalRecord:
     text: str = ""
     name: str = ""
     extra: int = 0
+    epoch: int = 0
+
+
+@dataclass
+class ReplayStats:
+    """What :func:`replay_records` saw while scanning a log."""
+
+    records: int = 0
+    torn_tail: int = 0
+    rejected_crc: int = 0
+    format_version: int = WAL_VERSION
 
 
 def _encode_string(value: str) -> bytes:
@@ -111,35 +146,62 @@ def decode_record(payload: bytes, offset: int) -> tuple[WalRecord, int]:
     return WalRecord(kind, nid, text, name, extra), offset
 
 
+def encode_frame(record: WalRecord, epoch: int) -> bytes:
+    """Frame a record for a version-2 log."""
+    body = encode_varint(epoch) + encode_record(record)
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
 class WriteAheadLog:
     """Append-only log file.
 
     Args:
-        path: Log file path (created with a header when absent).
+        path: Log file path (created framed when absent).
         sync: ``"none"`` (buffered), ``"flush"`` (flush per append) or
             ``"fsync"`` (flush + fsync per append).
         metrics: Optional :class:`repro.obs.MetricsRegistry`; appends
             and truncations are counted and append latency is timed.
+        epoch: Checkpoint epoch stamped on appended records; updated by
+            :meth:`truncate` after each checkpoint.
+
+    ``needs_upgrade`` is true when the file on disk predates the framed
+    format (or has an unreadable header); the owner should
+    :meth:`truncate` after replaying it so new writes are framed.
     """
 
-    def __init__(self, path: str, sync: str = "flush", metrics=None):
+    def __init__(self, path: str, sync: str = "flush", metrics=None,
+                 epoch: int = 0):
         if sync not in ("none", "flush", "fsync"):
             raise ValueError("sync must be 'none', 'flush' or 'fsync'")
         self.path = path
         self._sync = sync
         self._metrics = metrics
+        self.epoch = epoch
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self.needs_upgrade = False
+        if not fresh:
+            try:
+                with open(path, "rb") as fh:
+                    self.needs_upgrade = read_header(fh) != WAL_VERSION
+            except FormatError:
+                self.needs_upgrade = True
         self._fh: BinaryIO = open(path, "ab")
         if fresh:
-            write_header(self._fh)
-            self._fh.flush()
+            write_header(self._fh, version=WAL_VERSION)
+            self._flush()
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        if self._sync == "fsync":
+            os.fsync(self._fh.fileno())
 
     def _append(self, record: WalRecord) -> None:
-        self._fh.write(encode_record(record))
+        faults.fault_write(
+            self._fh, encode_frame(record, self.epoch), "wal.append"
+        )
         if self._sync != "none":
-            self._fh.flush()
-            if self._sync == "fsync":
-                os.fsync(self._fh.fileno())
+            self._flush()
+        faults.crashpoint("wal.appended")
 
     def append(self, record: WalRecord) -> None:
         if self._metrics is None:
@@ -149,35 +211,90 @@ class WriteAheadLog:
             self._append(record)
         self._metrics.counter("wal.appends").inc()
 
-    def truncate(self) -> None:
-        """Reset the log after a checkpoint."""
+    def truncate(self, epoch: int | None = None) -> None:
+        """Reset the log after a checkpoint.
+
+        The fresh header honors the configured sync level (an unsynced
+        empty header after a crash would replay as "no log at all",
+        which is safe, but the file must never look like the *old* log).
+        """
+        if epoch is not None:
+            self.epoch = epoch
         self._fh.close()
         self._fh = open(self.path, "wb")
-        write_header(self._fh)
-        self._fh.flush()
+        write_header(self._fh, version=WAL_VERSION)
+        self._flush()
+        self._fh.close()
         self._fh = open(self.path, "ab")
+        self.needs_upgrade = False
+        faults.crashpoint("wal.truncated")
         if self._metrics is not None:
             self._metrics.counter("wal.truncates").inc()
 
     def close(self) -> None:
-        self._fh.flush()
+        self._flush()
         self._fh.close()
 
 
-def replay_records(path: str) -> Iterator[WalRecord]:
-    """Read back all complete records; a torn tail is ignored."""
-    if not os.path.exists(path):
-        return
-    with open(path, "rb") as fh:
+def _replay_framed(payload: bytes, stats: ReplayStats) -> Iterator[WalRecord]:
+    offset = 0
+    size = len(payload)
+    while offset < size:
+        if offset + _FRAME.size > size:
+            stats.torn_tail += 1
+            return
+        length, crc = _FRAME.unpack_from(payload, offset)
+        body = payload[offset + _FRAME.size : offset + _FRAME.size + length]
+        if len(body) < length:
+            stats.torn_tail += 1
+            return
+        if zlib.crc32(body) != crc:
+            stats.rejected_crc += 1
+            return  # everything after a corrupt frame is unreliable
         try:
-            read_header(fh)
-        except FormatError:
-            return  # empty/garbage log: nothing to replay
-        payload = fh.read()
+            epoch, body_offset = decode_varint(body, 0)
+            record, body_offset = decode_record(body, body_offset)
+            if body_offset != length:
+                raise FormatError("trailing bytes in WAL frame")
+        except (FormatError, IndexError):
+            # The checksum matched but the body is undecodable: treat
+            # as corruption, not as a clean end of log.
+            stats.rejected_crc += 1
+            return
+        stats.records += 1
+        yield replace(record, epoch=epoch)
+        offset += _FRAME.size + length
+
+
+def _replay_legacy(payload: bytes, stats: ReplayStats) -> Iterator[WalRecord]:
     offset = 0
     while offset < len(payload):
         try:
             record, offset = decode_record(payload, offset)
         except (FormatError, IndexError):
+            stats.torn_tail += 1
             return  # torn final record from a crash mid-append
+        stats.records += 1
         yield record
+
+
+def replay_records(path: str,
+                   stats: ReplayStats | None = None) -> Iterator[WalRecord]:
+    """Read back all complete records; a torn or corrupt tail stops the
+    scan (and is counted in ``stats`` when given).  Handles both framed
+    version-2 logs and legacy version-1 logs."""
+    if stats is None:
+        stats = ReplayStats()
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as fh:
+        try:
+            version = read_header(fh)
+        except FormatError:
+            return  # empty/garbage log: nothing to replay
+        payload = faults.filter_read(fh.read(), "wal.replay")
+    stats.format_version = version
+    if version == WAL_VERSION:
+        yield from _replay_framed(payload, stats)
+    else:
+        yield from _replay_legacy(payload, stats)

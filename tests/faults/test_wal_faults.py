@@ -1,0 +1,177 @@
+"""WAL frame integrity under corruption, tearing and short reads."""
+
+import os
+
+from repro.database import Database
+from repro.storage.faults import (
+    CrashPlan,
+    FaultInjector,
+    InjectedCrash,
+    injected,
+)
+from repro.storage.format import write_header
+from repro.storage.wal import (
+    ReplayStats,
+    TEXT_UPDATE,
+    WAL_VERSION,
+    WalRecord,
+    WriteAheadLog,
+    encode_frame,
+    encode_record,
+    replay_records,
+)
+
+_HEADER = 8  # magic + version
+
+
+def _write_log(path, records, epoch=1):
+    log = WriteAheadLog(path, epoch=epoch)
+    for record in records:
+        log.append(record)
+    log.close()
+
+
+class TestFraming:
+    def test_records_carry_the_append_epoch(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, epoch=3)
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.epoch = 4  # as after a checkpoint
+        log.append(WalRecord(TEXT_UPDATE, 2, text="b"))
+        log.close()
+        stats = ReplayStats()
+        records = list(replay_records(path, stats))
+        assert [r.epoch for r in records] == [3, 4]
+        assert stats.format_version == WAL_VERSION
+        assert stats.records == 2
+        assert stats.torn_tail == 0 and stats.rejected_crc == 0
+
+    def test_bit_flip_rejected_by_crc(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_log(path, [
+            WalRecord(TEXT_UPDATE, 1, text="aaaa"),
+            WalRecord(TEXT_UPDATE, 2, text="bbbb"),
+        ])
+        data = bytearray(open(path, "rb").read())
+        data[_HEADER + 10] ^= 0x40  # flip a bit inside the first body
+        open(path, "wb").write(bytes(data))
+        stats = ReplayStats()
+        assert list(replay_records(path, stats)) == []
+        assert stats.rejected_crc == 1
+
+    def test_torn_frame_cannot_decode_as_shorter_record(self, tmp_path):
+        """A frame cut at *any* byte boundary yields exactly the
+        preceding records — never a phantom shorter record."""
+        path = str(tmp_path / "wal.log")
+        first = WalRecord(TEXT_UPDATE, 1, text="keep")
+        second = WalRecord(TEXT_UPDATE, 2, text="torn away")
+        _write_log(path, [first, second])
+        whole = open(path, "rb").read()
+        first_end = _HEADER + len(encode_frame(first, 1))
+        for cut in range(first_end, len(whole)):
+            open(path, "wb").write(whole[:cut])
+            stats = ReplayStats()
+            records = list(replay_records(path, stats))
+            assert [r.text for r in records] == ["keep"], f"cut={cut}"
+            assert stats.torn_tail + stats.rejected_crc == (
+                1 if cut > first_end else 0
+            ), f"cut={cut}"
+
+    def test_garbage_after_valid_records_stops_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_log(path, [WalRecord(TEXT_UPDATE, 1, text="ok")])
+        with open(path, "ab") as fh:
+            fh.write(encode_record(WalRecord(TEXT_UPDATE, 9, text="raw")))
+        records = list(replay_records(path))
+        assert [r.text for r in records] == ["ok"]
+
+    def test_legacy_v1_log_replays_with_epoch_zero(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with open(path, "wb") as fh:
+            write_header(fh, version=1)
+            fh.write(encode_record(WalRecord(TEXT_UPDATE, 7, text="old")))
+        stats = ReplayStats()
+        records = list(replay_records(path, stats))
+        assert [(r.nid, r.epoch) for r in records] == [(7, 0)]
+        assert stats.format_version == 1
+        log = WriteAheadLog(path)
+        assert log.needs_upgrade
+        log.truncate(epoch=5)
+        assert not log.needs_upgrade
+        log.close()
+        with open(path, "rb") as fh:
+            assert fh.read(8)[4] == WAL_VERSION
+
+    def test_short_read_simulation(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_log(path, [
+            WalRecord(TEXT_UPDATE, 1, text="one"),
+            WalRecord(TEXT_UPDATE, 2, text="two"),
+        ])
+        body = os.path.getsize(path) - _HEADER
+        with injected(FaultInjector(short_reads={"wal.replay": body - 4})):
+            stats = ReplayStats()
+            records = list(replay_records(path, stats))
+        assert [r.text for r in records] == ["one"]
+        assert stats.torn_tail == 1
+
+
+class TestSyncLevels:
+    def _count_fsyncs(self, monkeypatch):
+        calls = []
+        real = os.fsync
+
+        def counting(fd):
+            calls.append(fd)
+            return real(fd)
+
+        monkeypatch.setattr(os, "fsync", counting)
+        return calls
+
+    def test_truncate_and_close_fsync_when_configured(
+        self, tmp_path, monkeypatch
+    ):
+        calls = self._count_fsyncs(monkeypatch)
+        log = WriteAheadLog(str(tmp_path / "wal.log"), sync="fsync")
+        after_init = len(calls)
+        assert after_init >= 1  # fresh header is durable
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        after_append = len(calls)
+        assert after_append > after_init
+        log.truncate()  # the bug: this never fsynced the fresh header
+        after_truncate = len(calls)
+        assert after_truncate > after_append
+        log.close()
+        assert len(calls) > after_truncate
+
+    def test_flush_mode_never_fsyncs(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        log = WriteAheadLog(str(tmp_path / "wal.log"), sync="flush")
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.truncate()
+        log.close()
+        assert calls == []
+
+
+class TestTornAppendRecovery:
+    def test_torn_append_loses_only_the_torn_record(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, checkpoint_every=0)
+        db.load("doc", "<r><a>one</a></r>")
+        doc = db.store.document("doc")
+        text = next(doc.nid[p] for p in range(len(doc)) if doc.kind[p] == 2)
+        db.update_text(text, "first")
+        plan = CrashPlan("wal.append", occurrence=1, keep_bytes=11)
+        try:
+            with injected(FaultInjector(crash=plan)):
+                db.update_text(text, "second")
+        except InjectedCrash:
+            pass
+        del db
+        recovered = Database(path, checkpoint_every=0)
+        assert recovered.recovered_records == 1
+        assert recovered.recovery.torn_tail == 1
+        doc = recovered.store.document("doc")
+        assert doc.string_value(0) == "first"
+        assert recovered.verify().ok
+        recovered.close()

@@ -181,3 +181,105 @@ class TestManagerRoundtrip:
         save_manager(m, str(tmp_path / "db"))
         loaded = load_manager(str(tmp_path / "db"))
         assert "weird/name with spaces!.xml" in loaded.store.documents
+
+
+class TestFragmentPacking:
+    """Regression: char-class payloads are full UTF-8 sequences, but
+    the unpacker used to consume a single byte, misaligning every
+    token that followed a non-ASCII character."""
+
+    @pytest.fixture()
+    def index(self):
+        from types import SimpleNamespace
+
+        plugin = SimpleNamespace(
+            run_class_ids=frozenset({0}), char_class_ids=frozenset({1})
+        )
+        return SimpleNamespace(plugin=plugin)
+
+    @pytest.mark.parametrize("char", ["+", "€", "ß", "→", "𝄞"])
+    def test_non_ascii_char_class_roundtrip(self, index, char):
+        from repro.core.fsm import Fragment
+        from repro.storage.persist import _pack_fragment, _unpack_fragment
+
+        fragment = Fragment(3, ((1, char, 1), (0, 42, 2), (1, char, 1)))
+        packed = _pack_fragment(index, fragment)
+        unpacked, offset = _unpack_fragment(index, packed, 0)
+        assert unpacked == fragment
+        assert offset == len(packed)
+
+    def test_non_ascii_typed_index_survives_reload(self, tmp_path):
+        """End to end: a custom type whose sign class is the euro/dollar
+        currency symbol — fragments with non-ASCII payloads must survive
+        a save/load cycle and keep answering equality lookups."""
+        from repro.core.fsm import DfaSpec, TypePlugin, register_type
+        from repro.core.fsm import registry
+
+        spec = DfaSpec(
+            name="money",
+            states=["start", "signed", "amount"],
+            initial="start",
+            finals={"amount"},
+            classes={"cur": "€$", "digit": "0123456789"},
+            transitions={
+                ("start", "cur"): "signed",
+                ("signed", "digit"): "amount",
+                ("amount", "digit"): "amount",
+            },
+        )
+        register_type(
+            "money",
+            lambda: TypePlugin(
+                name="money",
+                dfa=spec.compile(),
+                cast=lambda plugin, tokens: plugin.render(tokens),
+                run_classes=("digit",),
+                char_classes=("cur",),
+            ),
+        )
+        try:
+            m = IndexManager(typed=("money",))
+            m.load("prices", "<r><p>€42</p><q>$7</q><x>words</x></r>")
+            expected = sorted(m.typed_indexes["money"]._value_of.items())
+            save_manager(m, str(tmp_path / "db"))
+            loaded = load_manager(str(tmp_path / "db"))
+            index = loaded.typed_indexes["money"]
+            assert sorted(index._value_of.items()) == expected
+            assert list(index.lookup_equal("€42"))
+            assert list(index.lookup_equal("$7"))
+            loaded.check_consistency()
+        finally:
+            registry._FACTORIES.pop("money", None)
+            registry._CACHE.pop("money", None)
+
+
+class TestStemCollisions:
+    """Regression: ``a/b`` and ``a_b`` both sanitised to the stem
+    ``a_b``, so the second document silently overwrote the first's
+    files on disk."""
+
+    def test_colliding_names_keep_distinct_contents(self, tmp_path):
+        m = IndexManager(typed=())
+        m.load("a/b", "<slash>1</slash>")
+        m.load("a_b", "<underscore>2</underscore>")
+        m.load("a b", "<space>3</space>")
+        save_manager(m, str(tmp_path / "db"))
+        loaded = load_manager(str(tmp_path / "db"))
+        assert loaded.store.document("a/b").serialize() == "<slash>1</slash>"
+        assert (
+            loaded.store.document("a_b").serialize()
+            == "<underscore>2</underscore>"
+        )
+        assert loaded.store.document("a b").serialize() == "<space>3</space>"
+
+    def test_manifest_records_disambiguated_stems(self, tmp_path):
+        m = IndexManager(typed=())
+        m.load("a/b", "<x/>")
+        m.load("a_b", "<y/>")
+        save_manager(m, str(tmp_path / "db"))
+        manifest = json.loads((tmp_path / "db" / "MANIFEST.json").read_text())
+        stems = manifest["documents"]
+        assert len(set(stems.values())) == 2
+        for stem in stems.values():
+            # Every manifest stem resolves to a real file.
+            assert (tmp_path / "db" / f"{stem}.doc").exists()
