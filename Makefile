@@ -1,22 +1,32 @@
 # Tiered checks for the reproduction.
 #
 #   make test    — tier-1: lint (when ruff is available) + the
-#                  crash-recovery fault suite + the full unit/property
-#                  suite (ROADMAP verify)
+#                  crash-recovery fault suite + the concurrent
+#                  differential suite + the full unit/property suite
+#                  (ROADMAP verify)
 #   make lint    — ruff over src/ (config in pyproject.toml); skipped
 #                  with a notice when ruff is not installed
 #   make faults  — just the fault-injection crash-recovery suite
 #                  (docs/durability.md)
+#   make concurrent — just the differential concurrency suite
+#                  (docs/concurrency.md)
+#   make stress  — bounded, seeded reader/writer soak (default 30s;
+#                  tune with STRESS_SECONDS / STRESS_SEED)
 #   make bench   — tier-2: paper experiments + ablations at the default
 #                  bench scale, including the parallel-creation curve
 #                  (emits BENCH_parallel_build.json)
 #   make bench-parallel — just the parallel-creation experiment
+#   make bench-concurrent — concurrent serving sweep
+#                  (emits BENCH_concurrent_serve.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 REPRO_BENCH_SCALE ?= 0.12
+STRESS_SECONDS ?= 30
+STRESS_SEED ?= 777
 
-.PHONY: test lint faults bench bench-parallel
+.PHONY: test lint faults concurrent stress bench bench-parallel \
+	bench-concurrent
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -28,7 +38,14 @@ lint:
 faults:
 	$(PYTHON) -m pytest tests/faults -q
 
-test: lint faults
+concurrent:
+	$(PYTHON) -m pytest tests/concurrent -q
+
+stress:
+	REPRO_STRESS_SECONDS=$(STRESS_SECONDS) REPRO_STRESS_SEED=$(STRESS_SEED) \
+	$(PYTHON) -m pytest tests/concurrent -q -s
+
+test: lint faults concurrent
 	$(PYTHON) -m pytest -x -q
 
 bench:
@@ -39,3 +56,6 @@ bench-parallel:
 	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) \
 	$(PYTHON) -m pytest benchmarks/test_parallel_creation.py \
 	    --benchmark-only
+
+bench-concurrent:
+	$(PYTHON) -m repro.bench.concurrent

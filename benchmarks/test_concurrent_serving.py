@@ -1,0 +1,64 @@
+"""Concurrent serving — the group-commit speedup curve.
+
+Runs the writer sweep of :mod:`repro.bench.concurrent` (readers +
+1/2/4 writers, group commit off and on, fsync durability) and emits
+``BENCH_concurrent_serve.json``.  The headline claim — aggregate
+committed-updates/sec at 4 group-committed writers >= 2x the 1-writer
+fsync-per-commit baseline — is asserted here, along with the JSON
+contract EXPERIMENTS.md consumes (batch occupancy, fsyncs-per-commit,
+latency percentiles).  Correctness under the same concurrency is the
+business of ``tests/concurrent/``, which cross-checks every query
+against the full-scan oracle.
+"""
+
+import json
+import os
+
+from repro.bench.concurrent import (
+    JSON_PATH,
+    WRITER_COUNTS,
+    format_report,
+    run,
+    write_json,
+)
+
+
+def test_concurrent_serving_report(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: run(updates_per_writer=200), rounds=1, iterations=1
+    )
+    assert {(r.writers, r.group_commit) for r in results} == {
+        (count, flag) for count in WRITER_COUNTS for flag in (False, True)
+    }
+    payload = write_json(results)
+
+    assert os.path.exists(JSON_PATH)
+    with open(JSON_PATH, encoding="utf-8") as fh:
+        on_disk = json.load(fh)
+    assert on_disk == payload
+    assert on_disk["bench"] == "concurrent_serve"
+    for entry in on_disk["configurations"]:
+        assert entry["commits_per_second"] > 0
+        assert entry["commit_p99_us"] >= entry["commit_p50_us"]
+        if entry["group_commit"]:
+            assert entry["batch_occupancy"] >= 1.0
+        else:
+            # fsync-per-commit: no batching anywhere.
+            assert entry["fsyncs"] >= entry["commits"]
+
+    # The headline shape: group commit amortizes the durable-media
+    # round trip, so 4 writers must commit at >= 2x the serial
+    # fsync-per-commit baseline.
+    aggregate = on_disk["aggregate"]
+    assert aggregate["speedup_vs_baseline"] >= 2.0, aggregate
+    four = next(
+        entry for entry in on_disk["configurations"]
+        if entry["writers"] == 4 and entry["group_commit"]
+    )
+    assert four["fsyncs_per_commit"] < 1.0, four
+
+    with capsys.disabled():
+        print()
+        print(format_report(results))
+        print(f"group-commit speedup vs 1-writer fsync baseline: "
+              f"{aggregate['speedup_vs_baseline']:.2f}x")

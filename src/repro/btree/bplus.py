@@ -1,11 +1,22 @@
-"""A from-scratch in-memory B+tree.
+"""A from-scratch in-memory B+tree with copy-on-write updates.
 
 Both paper indices sit on B-tree structures: "a (B-tree) index,
 constructed on the hash values" (Section 3) and "a clustered (b-tree)
 index is built on top of the typed values" (Section 4).  This module
 provides the shared substrate: an order-configurable B+tree with
-chained leaves, point/range lookups, bulk loading for index creation,
-and a modelled on-disk byte size for the storage experiments.
+point/range lookups, bulk loading for index creation, and a modelled
+on-disk byte size for the storage experiments.
+
+**Concurrency model.**  Every mutation (``insert``/``delete``) is
+*path-copying*: the nodes along the root-to-leaf descent are cloned,
+the clones are modified, and the new root is installed with a single
+reference assignment at the very end.  Nodes reachable from a
+previously published root are never modified in place, so any reader
+that captured the root — every read method captures it once per call,
+and :meth:`snapshot` pins it explicitly — iterates an immutable tree.
+A cursor can therefore never skip or double-yield keys because of a
+concurrent leaf split; it simply sees the tree as of the moment the
+iterator was created (see ``docs/concurrency.md``).
 
 Keys must be mutually comparable; entries are unique by key.  Indices
 that need duplicate logical keys (many nodes per hash value) append the
@@ -18,16 +29,15 @@ from __future__ import annotations
 import bisect
 from typing import Any, Callable, Iterable, Iterator
 
-__all__ = ["BPlusTree"]
+__all__ = ["BPlusTree", "TreeSnapshot"]
 
 
 class _Leaf:
-    __slots__ = ("keys", "values", "next")
+    __slots__ = ("keys", "values")
 
     def __init__(self) -> None:
         self.keys: list[Any] = []
         self.values: list[Any] = []
-        self.next: _Leaf | None = None
 
 
 class _Inner:
@@ -39,8 +49,158 @@ class _Inner:
         self.children: list[Any] = []
 
 
+def _clone(node: _Leaf | _Inner) -> _Leaf | _Inner:
+    """Shallow-copy one node (the unit of copy-on-write)."""
+    if isinstance(node, _Leaf):
+        copy = _Leaf()
+        copy.keys = node.keys[:]
+        copy.values = node.values[:]
+        return copy
+    copy = _Inner()
+    copy.keys = node.keys[:]
+    copy.children = node.children[:]
+    return copy
+
+
+# ---------------------------------------------------------------------------
+# Root-based read algorithms (shared by the live tree and snapshots)
+# ---------------------------------------------------------------------------
+
+
+def _find_in(root: _Leaf | _Inner, key: Any) -> tuple[_Leaf, int]:
+    """Descend from ``root`` to the leaf that should hold ``key``."""
+    node = root
+    while isinstance(node, _Inner):
+        idx = bisect.bisect_right(node.keys, key)
+        node = node.children[idx]
+    return node, bisect.bisect_left(node.keys, key)
+
+
+def _iter_items(root: _Leaf | _Inner) -> Iterator[tuple[Any, Any]]:
+    """All entries under ``root`` in ascending key order."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _Inner):
+            stack.extend(reversed(node.children))  # leftmost popped first
+        else:
+            yield from zip(node.keys, node.values)
+
+
+def _iter_items_reversed(root: _Leaf | _Inner) -> Iterator[tuple[Any, Any]]:
+    """All entries under ``root`` in descending key order."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _Inner):
+            stack.extend(node.children)  # rightmost popped first
+        else:
+            yield from zip(reversed(node.keys), reversed(node.values))
+
+
+def _iter_range(
+    root: _Leaf | _Inner,
+    low: Any,
+    high: Any,
+    include_low: bool,
+    include_high: bool,
+) -> Iterator[tuple[Any, Any]]:
+    """Entries under ``root`` with ``low <= key <= high`` (bounds
+    optional, strictness per the include flags)."""
+    # Descend to the leaf holding ``low``, stacking the right-sibling
+    # subtrees of the descent path (deepest on top, so they pop in
+    # ascending key order).
+    stack: list[Any] = []
+    if low is None:
+        leaf, idx = root, 0
+        while isinstance(leaf, _Inner):
+            stack.extend(reversed(leaf.children[1:]))
+            leaf = leaf.children[0]
+    else:
+        node = root
+        while isinstance(node, _Inner):
+            child = bisect.bisect_right(node.keys, low)
+            stack.extend(reversed(node.children[child + 1 :]))
+            node = node.children[child]
+        leaf = node
+        idx = bisect.bisect_left(leaf.keys, low)
+        if not include_low:
+            while idx < len(leaf.keys) and leaf.keys[idx] == low:
+                idx += 1
+
+    keys = leaf.keys
+    for i in range(idx, len(keys)):
+        key = keys[i]
+        if high is not None:
+            if key > high or (not include_high and key == high):
+                return
+        yield key, leaf.values[i]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _Inner):
+            stack.extend(reversed(node.children))
+            continue
+        for i, key in enumerate(node.keys):
+            if high is not None:
+                if key > high or (not include_high and key == high):
+                    return
+            yield key, node.values[i]
+
+
+class TreeSnapshot:
+    """An immutable point-in-time view of a :class:`BPlusTree`.
+
+    Holds the root published at capture time; later mutations of the
+    live tree build fresh nodes and never touch this root, so every
+    read — point, range, full scan — is consistent with the capture.
+    """
+
+    __slots__ = ("_root", "_size", "_height")
+
+    def __init__(self, root: _Leaf | _Inner, size: int, height: int):
+        self._root = root
+        self._size = size
+        self._height = height
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def __contains__(self, key: Any) -> bool:
+        leaf, idx = _find_in(self._root, key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf, idx = _find_in(self._root, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return _iter_items(self._root)
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in _iter_items(self._root):
+            yield key
+
+    def items_reversed(self) -> Iterator[tuple[Any, Any]]:
+        return _iter_items_reversed(self._root)
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        return _iter_range(self._root, low, high, include_low, include_high)
+
+
 class BPlusTree:
-    """An in-memory B+tree map.
+    """An in-memory B+tree map with copy-on-write mutations.
 
     Args:
         order: Maximum number of keys per node (≥ 3).
@@ -62,7 +222,6 @@ class BPlusTree:
         self._key_bytes = key_bytes
         self._value_bytes = value_bytes
         self._root: _Leaf | _Inner = _Leaf()
-        self._first_leaf: _Leaf = self._root
         self._size = 0
         self._height = 1
 
@@ -74,12 +233,12 @@ class BPlusTree:
         return self._size
 
     def __contains__(self, key: Any) -> bool:
-        leaf, idx = self._find(key)
+        leaf, idx = _find_in(self._root, key)
         return idx < len(leaf.keys) and leaf.keys[idx] == key
 
     def get(self, key: Any, default: Any = None) -> Any:
         """Point lookup."""
-        leaf, idx = self._find(key)
+        leaf, idx = _find_in(self._root, key)
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             return leaf.values[idx]
         return default
@@ -89,74 +248,82 @@ class BPlusTree:
         """Number of levels (1 = a single leaf)."""
         return self._height
 
-    # ------------------------------------------------------------------
-    # Search helpers
-    # ------------------------------------------------------------------
+    def snapshot(self) -> TreeSnapshot:
+        """Pin the current root as an immutable :class:`TreeSnapshot`.
 
-    def _find(self, key: Any) -> tuple[_Leaf, int]:
-        """Descend to the leaf that should hold ``key``."""
-        node = self._root
-        while isinstance(node, _Inner):
-            idx = bisect.bisect_right(node.keys, key)
-            node = node.children[idx]
-        return node, bisect.bisect_left(node.keys, key)
+        O(1): no copying happens at capture time; copy-on-write happens
+        on the *writer's* side, one path per mutation.
+        """
+        return TreeSnapshot(self._root, self._size, self._height)
 
     # ------------------------------------------------------------------
-    # Insertion
+    # Insertion (path-copying)
     # ------------------------------------------------------------------
 
     def insert(self, key: Any, value: Any = None) -> bool:
         """Insert ``key``; returns False (and overwrites) if present."""
+        new_root: _Leaf | _Inner = _clone(self._root)
         path: list[tuple[_Inner, int]] = []
-        node = self._root
+        node = new_root
         while isinstance(node, _Inner):
             idx = bisect.bisect_right(node.keys, key)
+            child = _clone(node.children[idx])
+            node.children[idx] = child
             path.append((node, idx))
-            node = node.children[idx]
+            node = child
         idx = bisect.bisect_left(node.keys, key)
         if idx < len(node.keys) and node.keys[idx] == key:
             node.values[idx] = value
+            self._root = new_root
             return False
         node.keys.insert(idx, key)
         node.values.insert(idx, value)
         self._size += 1
         if len(node.keys) > self._order:
-            self._split(node, path)
+            new_root = self._split(node, path, new_root)
+        self._root = new_root  # publication point
         return True
 
-    def _split(self, node: _Leaf | _Inner, path: list[tuple[_Inner, int]]) -> None:
-        mid = len(node.keys) // 2
-        if isinstance(node, _Leaf):
-            sibling = _Leaf()
-            sibling.keys = node.keys[mid:]
-            sibling.values = node.values[mid:]
-            del node.keys[mid:]
-            del node.values[mid:]
-            sibling.next = node.next
-            node.next = sibling
-            separator = sibling.keys[0]
-        else:
-            sibling = _Inner()
-            separator = node.keys[mid]
-            sibling.keys = node.keys[mid + 1 :]
-            sibling.children = node.children[mid + 1 :]
-            del node.keys[mid:]
-            del node.children[mid + 1 :]
-        if path:
-            parent, idx = path.pop()
-            parent.keys.insert(idx, separator)
-            parent.children.insert(idx + 1, sibling)
-            if len(parent.keys) > self._order:
-                self._split(parent, path)
-        else:
-            root = _Inner()
-            root.keys = [separator]
-            root.children = [node, sibling]
-            self._root = root
+    def _split(
+        self,
+        node: _Leaf | _Inner,
+        path: list[tuple[_Inner, int]],
+        root: _Leaf | _Inner,
+    ) -> _Leaf | _Inner:
+        """Split an over-full (already cloned) node; returns the root
+        of the new version (a fresh one when the split reaches it)."""
+        while True:
+            mid = len(node.keys) // 2
+            if isinstance(node, _Leaf):
+                sibling: _Leaf | _Inner = _Leaf()
+                sibling.keys = node.keys[mid:]
+                sibling.values = node.values[mid:]
+                del node.keys[mid:]
+                del node.values[mid:]
+                separator = sibling.keys[0]
+            else:
+                sibling = _Inner()
+                separator = node.keys[mid]
+                sibling.keys = node.keys[mid + 1 :]
+                sibling.children = node.children[mid + 1 :]
+                del node.keys[mid:]
+                del node.children[mid + 1 :]
+            if path:
+                parent, idx = path.pop()
+                parent.keys.insert(idx, separator)
+                parent.children.insert(idx + 1, sibling)
+                if len(parent.keys) <= self._order:
+                    return root
+                node = parent
+                continue
+            new_root = _Inner()
+            new_root.keys = [separator]
+            new_root.children = [node, sibling]
             self._height += 1
+            return new_root
 
     # ------------------------------------------------------------------
-    # Deletion
+    # Deletion (path-copying)
     # ------------------------------------------------------------------
 
     def delete(self, key: Any) -> bool:
@@ -167,55 +334,52 @@ class BPlusTree:
         rebalance cost is not repaid, and irrelevant to the modelled
         storage size which counts entries.
         """
+        new_root: _Leaf | _Inner = _clone(self._root)
         path: list[tuple[_Inner, int]] = []
-        node = self._root
+        node = new_root
         while isinstance(node, _Inner):
             idx = bisect.bisect_right(node.keys, key)
+            child = _clone(node.children[idx])
+            node.children[idx] = child
             path.append((node, idx))
-            node = node.children[idx]
+            node = child
         idx = bisect.bisect_left(node.keys, key)
         if idx >= len(node.keys) or node.keys[idx] != key:
-            return False
+            return False  # absent: the live root stays published
         del node.keys[idx]
         del node.values[idx]
         self._size -= 1
         if not node.keys and path:
-            self._unlink_empty_leaf(node, path)
+            self._drop_empty_leaf(path)
+            new_root = self._collapse(new_root)
+        self._root = new_root  # publication point
         return True
 
-    def _unlink_empty_leaf(self, leaf: _Leaf, path: list[tuple[_Inner, int]]) -> None:
-        # Fix the leaf chain: find the left neighbour (scan from the
-        # first leaf; amortised fine for an in-memory tree).
-        if leaf is self._first_leaf:
-            if leaf.next is None:
-                # Tree is now completely empty.
-                self._first_leaf = leaf
-                self._root = leaf
-                self._height = 1
-                return
-            self._first_leaf = leaf.next
-        else:
-            prev = self._first_leaf
-            while prev.next is not leaf:
-                prev = prev.next
-            prev.next = leaf.next
-        # Remove the leaf from its parent; propagate removal of inner
-        # nodes that become childless.
+    def _drop_empty_leaf(self, path: list[tuple[_Inner, int]]) -> None:
+        """Remove an emptied leaf from its (cloned) ancestors,
+        propagating removal of inner nodes that become childless."""
         for parent, idx in reversed(path):
             del parent.children[idx]
             if parent.keys:
                 del parent.keys[idx - 1 if idx > 0 else 0]
             if parent.children:
                 break
-        while isinstance(self._root, _Inner) and len(self._root.children) == 1:
-            self._root = self._root.children[0]
+
+    def _collapse(self, root: _Leaf | _Inner) -> _Leaf | _Inner:
+        """Shed single-child and childless root levels."""
+        while isinstance(root, _Inner) and len(root.children) == 1:
+            root = root.children[0]
             self._height -= 1
+        if isinstance(root, _Inner) and not root.children:
+            root = _Leaf()
+            self._height = 1
+        return root
 
     def remove_many(self, keys: Iterable[Any]) -> int:
         """Remove many keys at once; returns the number removed.
 
         For small batches this loops :meth:`delete`; past ~1/4 of the
-        tree it filters the leaf chain once and rebuilds by bulk load —
+        tree it filters a full scan once and rebuilds by bulk load —
         O(n) instead of O(m log n), the difference between unloading a
         document per-entry and in one pass.
         """
@@ -239,29 +403,16 @@ class BPlusTree:
     # ------------------------------------------------------------------
 
     def items(self) -> Iterator[tuple[Any, Any]]:
-        """All entries in key order."""
-        leaf: _Leaf | None = self._first_leaf
-        while leaf is not None:
-            yield from zip(leaf.keys, leaf.values)
-            leaf = leaf.next
+        """All entries in key order, as of the call."""
+        return _iter_items(self._root)
 
     def keys(self) -> Iterator[Any]:
-        for key, _value in self.items():
+        for key, _value in _iter_items(self._root):
             yield key
 
     def items_reversed(self) -> Iterator[tuple[Any, Any]]:
-        """All entries in descending key order.
-
-        Leaves are chained forward only, so this walks the tree
-        right-to-left with an explicit stack — O(1) memory per level.
-        """
-        stack: list[Any] = [self._root]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, _Inner):
-                stack.extend(node.children)  # leftmost ends up deepest
-            else:
-                yield from zip(reversed(node.keys), reversed(node.values))
+        """All entries in descending key order, as of the call."""
+        return _iter_items_reversed(self._root)
 
     def range(
         self,
@@ -273,26 +424,11 @@ class BPlusTree:
         """Entries with ``low <= key <= high`` (bounds optional).
 
         ``include_low``/``include_high`` toggle bound strictness, giving
-        the four interval kinds range predicates need.
+        the four interval kinds range predicates need.  The cursor runs
+        over the root captured at call time: concurrent copy-on-write
+        mutations never disturb it.
         """
-        if low is None:
-            leaf, idx = self._first_leaf, 0
-        else:
-            leaf, idx = self._find(low)
-            if not include_low:
-                while idx < len(leaf.keys) and leaf.keys[idx] == low:
-                    idx += 1
-        current: _Leaf | None = leaf
-        while current is not None:
-            keys = current.keys
-            for i in range(idx, len(keys)):
-                key = keys[i]
-                if high is not None:
-                    if key > high or (not include_high and key == high):
-                        return
-                yield key, current.values[i]
-            idx = 0
-            current = current.next
+        return _iter_range(self._root, low, high, include_low, include_high)
 
     # ------------------------------------------------------------------
     # Bulk loading
@@ -303,7 +439,9 @@ class BPlusTree:
 
         Builds packed leaves bottom-up — this is what index *creation*
         uses (paper Figure 7 produces all entries in one pass; sorting
-        them and packing is the classical bulk build).
+        them and packing is the classical bulk build).  The new root is
+        installed only once fully built, so concurrent snapshot readers
+        see either the old contents or the new, never a mix.
         """
         fill = max(2, (self._order * 3) // 4)
         leaves: list[_Leaf] = []
@@ -316,9 +454,7 @@ class BPlusTree:
             previous_key = key
             if len(current.keys) >= fill:
                 leaves.append(current)
-                nxt = _Leaf()
-                current.next = nxt
-                current = nxt
+                current = _Leaf()
             current.keys.append(key)
             current.values.append(value)
             count += 1
@@ -328,10 +464,7 @@ class BPlusTree:
             runt = leaves.pop()
             leaves[-1].keys.extend(runt.keys)
             leaves[-1].values.extend(runt.values)
-            leaves[-1].next = None
-        self._first_leaf = leaves[0]
-        self._size = count
-        self._height = 1
+        height = 1
         level: list[Any] = leaves
         separators = [leaf.keys[0] for leaf in leaves[1:]]
         while len(level) > 1:
@@ -351,8 +484,10 @@ class BPlusTree:
                 i += take
             level = parents
             separators = parent_separators
-            self._height += 1
-        self._root = level[0]
+            height += 1
+        self._size = count
+        self._height = height
+        self._root = level[0]  # publication point
 
     # ------------------------------------------------------------------
     # Storage model
@@ -402,12 +537,12 @@ class BPlusTree:
     def check_invariants(self) -> None:
         """Validate structural invariants (test support).
 
-        Checks sorted keys, key/child arity, leaf chain completeness and
+        Checks sorted keys, key/child arity, full-scan completeness and
         the separator property on every path.
         """
-        entries_via_chain = list(self.items())
-        keys = [k for k, _ in entries_via_chain]
-        assert keys == sorted(keys), "leaf chain out of order"
+        entries = list(self.items())
+        keys = [k for k, _ in entries]
+        assert keys == sorted(keys), "scan out of order"
         assert len(set(keys)) == len(keys), "duplicate keys"
         assert len(keys) == self._size, "size counter drift"
 

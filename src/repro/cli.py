@@ -56,13 +56,20 @@ def _parse_parallel(value: str | None) -> int | str | None:
 
 
 def _open(path: str, parallel: int | str | None = None,
-          parallel_backend: str = "process") -> Database:
+          parallel_backend: str = "process",
+          concurrent: bool = False,
+          group_commit: bool = False,
+          group_batch_max: int = 32,
+          group_batch_wait_ms: float = 0.0) -> Database:
     """Open an existing database (WAL recovery included)."""
     import os
 
     if not os.path.exists(os.path.join(path, "MANIFEST.json")):
         raise ReproError(f"no database at {path!r}; run 'init' first")
-    db = Database(path, parallel=parallel, parallel_backend=parallel_backend)
+    db = Database(path, parallel=parallel, parallel_backend=parallel_backend,
+                  concurrent=concurrent, group_commit=group_commit,
+                  group_batch_max=group_batch_max,
+                  group_batch_wait_ms=group_batch_wait_ms)
     if db.recovered_records:
         print(f"(recovered {db.recovered_records} update(s) from the WAL)")
     report = db.recovery
@@ -180,7 +187,10 @@ def cmd_lookup(args) -> int:
 
 
 def cmd_update(args) -> int:
-    db = _open(args.db)
+    db = _open(args.db, concurrent=args.concurrent,
+               group_commit=args.group_commit,
+               group_batch_max=args.group_batch_max,
+               group_batch_wait_ms=args.group_batch_wait_ms)
     recomputed = db.update_text(args.nid, args.text)
     db.close(checkpoint=False)  # the WAL carries the update
     print(f"updated node {args.nid}; {recomputed} index entries recomputed")
@@ -202,7 +212,8 @@ def cmd_verify(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .bench import figure9, figure10, figure11, parallel, table1
+    from .bench import concurrent, figure9, figure10, figure11, parallel, \
+        table1
 
     module = {
         "table1": table1,
@@ -210,6 +221,7 @@ def cmd_bench(args) -> int:
         "figure10": figure10,
         "figure11": figure11,
         "parallel": parallel,
+        "concurrent": concurrent,
     }[args.experiment]
     module.main()
     return 0
@@ -272,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.add_argument("nid", type=int)
     p.add_argument("text")
+    _add_serving_options(p)
     p.set_defaults(fn=cmd_update)
 
     p = sub.add_parser(
@@ -289,9 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
                    choices=["table1", "figure9", "figure10", "figure11",
-                            "parallel"])
+                            "parallel", "concurrent"])
     p.set_defaults(fn=cmd_bench)
     return parser
+
+
+def _add_serving_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--concurrent", action="store_true",
+                   help="enable snapshot-isolated concurrent serving")
+    p.add_argument("--group-commit", action="store_true",
+                   help="batch WAL fsyncs across concurrent writers")
+    p.add_argument("--group-batch-max", type=int, default=32,
+                   help="most records per group-commit batch")
+    p.add_argument("--group-batch-wait-ms", type=float, default=0.0,
+                   help="leader linger before committing a non-full batch")
 
 
 def _add_parallel_options(p: argparse.ArgumentParser) -> None:

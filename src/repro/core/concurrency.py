@@ -1,0 +1,350 @@
+"""Snapshot-isolated readers over the index manager.
+
+This module gives the reproduction its concurrent serving path
+(``docs/concurrency.md`` is the protocol spec):
+
+* **Readers** open a :class:`ReadView` — an O(1) pin of the last
+  *published* :class:`ManagerSnapshot` (the manager's epoch plus one
+  :class:`~repro.btree.bplus.TreeSnapshot` per index).  For the view's
+  lifetime the thread's index lookups resolve against those immutable
+  tree roots and its text reads resolve through the MVCC overlay
+  (:mod:`repro.xmldb.mvcc`) at the pinned epoch — lock-free with
+  respect to text writers.
+* **Text writers** serialize among themselves (one writer RLock),
+  record before-values into the overlay, mutate the copy-on-write
+  trees, and *publish* a new snapshot at the end — so a reader either
+  sees all of an update's index entries and text values, or none.
+* **Structural writers** (subtree insert/delete, loads/unloads, index
+  builds, checkpoints) splice columns in place, which cannot be
+  versioned cheaply — they take the latch *exclusively*, draining
+  active views first.  This stop-the-world path is the documented
+  trade-off; the serving workload (queries + text updates) never
+  takes it.
+
+The latch is shared/exclusive with thread-local reentrancy; readers
+and text writers both hold it shared, so readers never block behind a
+text update.  Single-threaded use pays one ``is None`` check per
+operation: a manager without a controller behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..xmldb.mvcc import TextOverlay, reading_at
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..btree.bplus import TreeSnapshot
+    from .manager import IndexManager
+
+__all__ = [
+    "ConcurrencyController",
+    "ManagerSnapshot",
+    "ReadView",
+    "ReadWriteLatch",
+    "active_view",
+]
+
+_tls = threading.local()
+
+
+def active_view() -> "ReadView | None":
+    """The ReadView this thread is currently executing under, if any."""
+    return getattr(_tls, "view", None)
+
+
+class ReadWriteLatch:
+    """A shared/exclusive latch with per-thread reentrancy.
+
+    * ``shared`` — many holders; taken by read views *and* text
+      writers (they coexist via MVCC).
+    * ``exclusive`` — single holder, waits for all shared holders to
+      drain and blocks new ones (arrival of an exclusive waiter gates
+      fresh shared acquires, so structural writers cannot starve).
+
+    A thread already holding the latch (either mode) re-acquires
+    shared for free; exclusive-in-exclusive nests.  Upgrading shared
+    to exclusive would self-deadlock and raises instead.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._exclusive_owner: int | None = None
+        self._exclusive_waiting = 0
+        self._tls = threading.local()
+
+    def _depth(self, mode: str) -> int:
+        return getattr(self._tls, mode, 0)
+
+    def _bump(self, mode: str, delta: int) -> int:
+        value = getattr(self._tls, mode, 0) + delta
+        setattr(self._tls, mode, value)
+        return value
+
+    def acquire_shared(self) -> None:
+        if self._exclusive_owner == threading.get_ident() or self._depth("s"):
+            self._bump("s", 1)
+            return
+        with self._cond:
+            while self._exclusive_owner is not None or self._exclusive_waiting:
+                self._cond.wait()
+            self._shared += 1
+        self._bump("s", 1)
+
+    def release_shared(self) -> None:
+        if self._bump("s", -1):
+            return
+        if self._exclusive_owner == threading.get_ident():
+            return  # was a reentrant no-op under our own exclusive
+        with self._cond:
+            self._shared -= 1
+            if self._shared == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        me = threading.get_ident()
+        if self._exclusive_owner == me:
+            self._bump("x", 1)
+            return
+        if self._depth("s"):
+            raise RuntimeError("cannot upgrade a shared latch to exclusive")
+        with self._cond:
+            self._exclusive_waiting += 1
+            try:
+                while self._exclusive_owner is not None or self._shared:
+                    self._cond.wait()
+                self._exclusive_owner = me
+            finally:
+                self._exclusive_waiting -= 1
+        self._bump("x", 1)
+
+    def release_exclusive(self) -> None:
+        if self._bump("x", -1):
+            return
+        with self._cond:
+            self._exclusive_owner = None
+            self._cond.notify_all()
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+
+class ManagerSnapshot:
+    """One published version of the manager's index state."""
+
+    __slots__ = ("epoch", "trees")
+
+    def __init__(self, epoch: int, trees: dict[Any, "TreeSnapshot"]):
+        self.epoch = epoch
+        #: index object -> pinned TreeSnapshot of its value tree.
+        self.trees = trees
+
+
+class ReadView:
+    """A query's pinned, immutable view of the database.
+
+    Context manager: entering takes the latch shared, pins the last
+    published snapshot, and installs the thread-local read context so
+    index lookups (via each index's ``_lookup_tree``) and document
+    text reads (via the MVCC overlay) resolve at this view's epoch.
+    Statistics are computed from the pinned trees and memoized, so a
+    plan priced inside the view can never mix epochs.
+    """
+
+    def __init__(self, controller: "ConcurrencyController"):
+        self._controller = controller
+        self.snapshot: ManagerSnapshot | None = None
+        self.epoch: int | None = None
+        self._stats: dict[str, Any] = {}
+        self._reading = None
+        self._depth = 0
+
+    def __enter__(self) -> "ReadView":
+        if self._depth == 0:
+            controller = self._controller
+            controller.latch.acquire_shared()
+            self.snapshot = controller.published()
+            self.epoch = self.snapshot.epoch
+            controller.register_pin(self, self.epoch)
+            self._previous_view = active_view()
+            _tls.view = self
+            self._reading = reading_at(self.epoch)
+            self._reading.__enter__()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self._reading.__exit__(None, None, None)
+            self._reading = None
+            _tls.view = self._previous_view
+            self._controller.release_pin(self)
+            self._controller.latch.release_shared()
+
+    def tree_for(self, index: Any) -> "TreeSnapshot | None":
+        """The pinned tree snapshot backing ``index``, if captured."""
+        return self.snapshot.trees.get(index)
+
+    def statistics(self, kind: str):
+        """View-local planner statistics at this view's epoch."""
+        cached = self._stats.get(kind)
+        if cached is None:
+            cached = self._controller.view_statistics(self, kind)
+            self._stats[kind] = cached
+        return cached
+
+
+class ConcurrencyController:
+    """Coordinates readers, text writers and structural writers.
+
+    Owned by an :class:`~repro.core.manager.IndexManager` once
+    concurrency is enabled; the manager's read and write paths consult
+    it (``manager.concurrency``) and otherwise run untouched.
+    """
+
+    def __init__(self, manager: "IndexManager"):
+        self.manager = manager
+        self.latch = ReadWriteLatch()
+        #: Serializes writers (text and structural); reentrant so the
+        #: Database layer can hold it across WAL append + apply.
+        self.write_lock = threading.RLock()
+        self._publish_lock = threading.Lock()
+        self._pin_lock = threading.Lock()
+        self._pins: dict[int, int] = {}  # id(view) -> pinned epoch
+        self._published = self._capture()
+        self._attach_overlays()
+
+    # -- snapshot publication -------------------------------------------
+
+    def _capture(self) -> ManagerSnapshot:
+        manager = self.manager
+        trees = {index: index.tree.snapshot() for index in manager.indexes}
+        return ManagerSnapshot(manager.epoch, trees)
+
+    def publish(self) -> None:
+        """Publish the manager's current state as the new snapshot.
+
+        Called by writers after they finish applying (and bumping the
+        epoch); the assignment is the readers' visibility point.
+        """
+        snapshot = self._capture()
+        with self._publish_lock:
+            self._published = snapshot
+        self._attach_overlays()
+        self.prune_overlays()
+        self.manager.metrics.counter("concurrency.publishes").inc()
+
+    def published(self) -> ManagerSnapshot:
+        with self._publish_lock:
+            return self._published
+
+    def _attach_overlays(self) -> None:
+        for doc in self.manager.store.documents.values():
+            if doc.text_overlay is None:
+                doc.text_overlay = TextOverlay()
+
+    # -- reader pins -----------------------------------------------------
+
+    def read_view(self) -> ReadView:
+        return ReadView(self)
+
+    def register_pin(self, view: ReadView, epoch: int) -> None:
+        with self._pin_lock:
+            self._pins[id(view)] = epoch
+        self.manager.metrics.counter("concurrency.epoch_pins").inc()
+
+    def release_pin(self, view: ReadView) -> None:
+        with self._pin_lock:
+            self._pins.pop(id(view), None)
+            empty = not self._pins
+        if empty:
+            self.prune_overlays()
+
+    def oldest_pin(self) -> int | None:
+        with self._pin_lock:
+            return min(self._pins.values()) if self._pins else None
+
+    def prune_overlays(self) -> None:
+        """Drop overlay versions no pinned reader can still observe.
+
+        Runs under the writer lock or with no writers active; overlay
+        ``record`` only ever happens under the writer lock, so pruning
+        from the last reader out cannot race a recording writer's
+        chain mutation — the GIL makes the list swap atomic and a
+        pinned reader re-reads the chain per lookup.
+        """
+        oldest = self.oldest_pin()
+        for doc in self.manager.store.documents.values():
+            overlay = doc.text_overlay
+            if overlay is not None:
+                overlay.prune(oldest)
+
+    # -- writer scopes ---------------------------------------------------
+
+    @contextmanager
+    def text_update(self) -> Iterator[int]:
+        """Scope for an MVCC text update: writer lock + shared latch.
+
+        Yields the epoch the update will commit as (current + 1);
+        before-values recorded into the overlay carry this stamp.
+        Publishes the new snapshot on exit.
+        """
+        with self.write_lock:
+            with self.latch.shared():
+                yield self.manager.epoch + 1
+                self.publish()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Scope for a structural change: writer lock + exclusive latch.
+
+        Drains all read views first; since no reader can be pinned
+        while we hold the latch, overlays are cleared wholesale and
+        the new snapshot is published on exit.
+        """
+        with self.write_lock:
+            with self.latch.exclusive():
+                self.manager.metrics.counter("concurrency.exclusive_ops").inc()
+                yield
+                self.publish()
+
+    # -- view statistics -------------------------------------------------
+
+    def view_statistics(self, view: ReadView, kind: str):
+        """Planner statistics computed from ``view``'s pinned trees."""
+        from ..errors import IndexError_
+        from .statistics import StringIndexStatistics, TypedIndexStatistics
+
+        manager = self.manager
+        if kind == "string":
+            if manager.string_index is None:
+                raise IndexError_("string index not enabled")
+            index = manager.string_index
+        else:
+            index = manager.typed_index(kind)
+        tree = view.tree_for(index)
+        if tree is None:
+            # Index created after the view pinned (exclusive op, so no
+            # such view can be live — defensive fallback only).
+            return manager.statistics(kind)
+        manager.metrics.counter("statistics.view_builds").inc()
+        if kind == "string":
+            return StringIndexStatistics.from_tree(tree, view.epoch)
+        return TypedIndexStatistics.from_tree(tree, view.epoch)

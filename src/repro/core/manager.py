@@ -11,6 +11,8 @@ configure — every node of every document is covered.
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from typing import Any, Iterable, Iterator
 
 import re
@@ -20,6 +22,7 @@ from ..obs import MetricsRegistry
 from ..xmldb.document import ATTR, TEXT, Document
 from ..xmldb.store import Store, StructuralChange
 from .builder import ValueIndex, compute_fields
+from .concurrency import ConcurrencyController, ReadView, active_view
 from .parallel import AUTO_MIN_ROWS, compute_fields_parallel, resolve_workers
 from .string_index import StringIndex
 from .substring_index import SubstringIndex
@@ -91,10 +94,44 @@ class IndexManager:
         # repro.query.planner, stored here so it shares the manager's
         # lifetime and invalidation.
         self._plan_cache: dict[tuple, tuple[int, object]] = {}
+        #: Guards plan-cache mutations (lookups stay lock-free).
+        self._plan_lock = threading.Lock()
+        #: Concurrent serving support; None until enabled (see
+        #: :mod:`repro.core.concurrency`).  Every hot path pays one
+        #: ``is None`` check when disabled.
+        self.concurrency: ConcurrencyController | None = None
 
     def bump_epoch(self) -> None:
         """Invalidate cached query plans (document/index set changed)."""
         self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Concurrent serving
+    # ------------------------------------------------------------------
+
+    def enable_concurrency(self) -> ConcurrencyController:
+        """Activate snapshot-isolated serving (idempotent).
+
+        After this, writers publish epoch snapshots and readers may pin
+        them via :meth:`read_view`; single-threaded call patterns keep
+        working unchanged.
+        """
+        if self.concurrency is None:
+            self.concurrency = ConcurrencyController(self)
+        return self.concurrency
+
+    def read_view(self) -> ReadView:
+        """A pinned snapshot view (context manager); requires
+        :meth:`enable_concurrency`."""
+        if self.concurrency is None:
+            raise IndexError_("concurrency not enabled on this manager")
+        return self.concurrency.read_view()
+
+    def _exclusive(self):
+        """Latch scope for structural changes (no-op when disabled)."""
+        if self.concurrency is None:
+            return nullcontext()
+        return self.concurrency.exclusive()
 
     @property
     def indexes(self) -> list[ValueIndex]:
@@ -120,15 +157,16 @@ class IndexManager:
         """Create (and build) an additional typed index."""
         if type_name in self.typed_indexes:
             raise IndexError_(f"typed index {type_name!r} already exists")
-        index = TypedIndex(type_name, order=self._order)
-        self.typed_indexes[type_name] = index
-        with self.metrics.timer("index.build").time():
-            index.begin_bulk()
-            for doc in self.store.documents.values():
-                self._compute_document(doc, [index], parallel)
-            index.finish_bulk()
-        self.metrics.counter("index.builds").inc()
-        self.bump_epoch()
+        with self._exclusive():
+            index = TypedIndex(type_name, order=self._order)
+            self.typed_indexes[type_name] = index
+            with self.metrics.timer("index.build").time():
+                index.begin_bulk()
+                for doc in self.store.documents.values():
+                    self._compute_document(doc, [index], parallel)
+                index.finish_bulk()
+            self.metrics.counter("index.builds").inc()
+            self.bump_epoch()
         return index
 
     # ------------------------------------------------------------------
@@ -159,17 +197,18 @@ class IndexManager:
             )
 
     def _build_document(self, doc: Document, parallel) -> None:
-        with self.metrics.timer("index.build").time():
-            indexes = self.indexes
-            for index in indexes:
-                index.begin_bulk()
-            self._compute_document(doc, indexes, parallel)
-            for index in indexes:
-                index.finish_bulk()
-            self._substring_add_range(doc, 0, len(doc) - 1)
-        self.metrics.counter("index.builds").inc()
-        self._leaf_nids_cache.pop(doc.name, None)
-        self.bump_epoch()
+        with self._exclusive():
+            with self.metrics.timer("index.build").time():
+                indexes = self.indexes
+                for index in indexes:
+                    index.begin_bulk()
+                self._compute_document(doc, indexes, parallel)
+                for index in indexes:
+                    index.finish_bulk()
+                self._substring_add_range(doc, 0, len(doc) - 1)
+            self.metrics.counter("index.builds").inc()
+            self._leaf_nids_cache.pop(doc.name, None)
+            self.bump_epoch()
 
     def load(
         self, name: str, xml: str, parallel: int | str | None = _DEFAULT
@@ -197,29 +236,31 @@ class IndexManager:
 
     def build_all(self, parallel: int | str | None = _DEFAULT) -> None:
         """(Re)build all indices over all documents already in the store."""
-        with self.metrics.timer("index.build").time():
-            for index in self.indexes:
-                index.begin_bulk()
-            for doc in self.store.documents.values():
-                self._compute_document(doc, self.indexes, parallel)
-                self._substring_add_range(doc, 0, len(doc) - 1)
-            for index in self.indexes:
-                index.finish_bulk()
-        self.metrics.counter("index.builds").inc()
-        self.bump_epoch()
+        with self._exclusive():
+            with self.metrics.timer("index.build").time():
+                for index in self.indexes:
+                    index.begin_bulk()
+                for doc in self.store.documents.values():
+                    self._compute_document(doc, self.indexes, parallel)
+                    self._substring_add_range(doc, 0, len(doc) - 1)
+                for index in self.indexes:
+                    index.finish_bulk()
+            self.metrics.counter("index.builds").inc()
+            self.bump_epoch()
 
     def unload(self, name: str) -> None:
         """Drop a document and all its index entries (one bulk pass per
         index instead of one tree descent per node)."""
-        doc = self.store.document(name)
-        nids = doc.nid
-        for index in self.indexes:
-            index.remove_entries(nids)
-        if self.substring_index is not None:
-            self.substring_index.remove_entries(nids)
-        self.store.remove_document(name)
-        self._leaf_nids_cache.pop(name, None)
-        self.bump_epoch()
+        with self._exclusive():
+            doc = self.store.document(name)
+            nids = doc.nid
+            for index in self.indexes:
+                index.remove_entries(nids)
+            if self.substring_index is not None:
+                self.substring_index.remove_entries(nids)
+            self.store.remove_document(name)
+            self._leaf_nids_cache.pop(name, None)
+            self.bump_epoch()
 
     # ------------------------------------------------------------------
     # Updates
@@ -235,57 +276,95 @@ class IndexManager:
         Applies all store writes first, then runs one maintenance pass
         (Figure 8) over the distinct updated nodes, so shared ancestors
         recompute once.  Returns the number of recomputed entries.
+
+        Under a concurrency controller this is the MVCC path: the
+        writer holds the latch *shared* (readers keep running),
+        records every overwritten text slot's before-value in the
+        document overlay, and publishes a new index snapshot at the
+        end.  The substring index mutates its gram postings in place
+        and cannot be snapshotted, so its presence forces the
+        exclusive latch instead.
         """
-        nids: list[int] = []
-        seen: set[int] = set()
-        with self.metrics.timer("index.update").time():
-            for nid, new_text in updates:
-                self.store.update_text(nid, new_text)
-                if nid not in seen:
-                    seen.add(nid)
-                    nids.append(nid)
-            if self.substring_index is not None:
-                for nid in nids:
-                    doc, pre = self.store.node(nid)
-                    if doc.kind[pre] in (TEXT, ATTR):
-                        self.substring_index.set_entry(nid, doc.text_of(pre))
-            recomputed = apply_text_updates(self.store, nids, self.indexes)
-        self.metrics.counter("index.updates").inc(len(nids))
-        self.bump_epoch()
+        controller = self.concurrency
+        if controller is None:
+            scope = nullcontext(None)
+        elif self.substring_index is not None:
+            scope = controller.exclusive()
+        else:
+            scope = controller.text_update()
+        with scope as write_epoch:
+            nids: list[int] = []
+            seen: set[int] = set()
+            with self.metrics.timer("index.update").time():
+                for nid, new_text in updates:
+                    if write_epoch is not None:
+                        self._record_before_value(nid, write_epoch)
+                    self.store.update_text(nid, new_text)
+                    if nid not in seen:
+                        seen.add(nid)
+                        nids.append(nid)
+                if self.substring_index is not None:
+                    for nid in nids:
+                        doc, pre = self.store.node(nid)
+                        if doc.kind[pre] in (TEXT, ATTR):
+                            self.substring_index.set_entry(
+                                nid, doc.text_of(pre)
+                            )
+                recomputed = apply_text_updates(self.store, nids, self.indexes)
+            self.metrics.counter("index.updates").inc(len(nids))
+            self.bump_epoch()
         return recomputed
 
+    def _record_before_value(self, nid: int, write_epoch: int) -> None:
+        """Save a text slot's current value to the MVCC overlay.
+
+        Runs *before* the heap write, so a reader pinned below
+        ``write_epoch`` always finds the old value — in the heap if it
+        races ahead of the write, in the overlay after it.
+        """
+        doc, pre = self.store.node(nid)
+        slot = doc.text_id[pre]
+        if slot >= 0 and doc.text_overlay is not None:
+            doc.text_overlay.record(slot, write_epoch, doc.texts[slot])
+
     def delete_subtree(self, nid: int) -> StructuralChange:
-        """Delete a subtree and maintain indices."""
-        with self.metrics.timer("index.update").time():
-            change = self.store.delete_subtree(nid)
-            apply_structural_change(self.store, change, self.indexes)
-            self._substring_apply_change(change)
-        self.metrics.counter("index.updates").inc()
-        self.bump_epoch()
+        """Delete a subtree and maintain indices (stop-the-world:
+        structural splices take the exclusive latch, see
+        docs/concurrency.md)."""
+        with self._exclusive():
+            with self.metrics.timer("index.update").time():
+                change = self.store.delete_subtree(nid)
+                apply_structural_change(self.store, change, self.indexes)
+                self._substring_apply_change(change)
+            self.metrics.counter("index.updates").inc()
+            self.bump_epoch()
         return change
 
     def insert_xml(
         self, parent_nid: int, fragment: str, before_nid: int | None = None
     ) -> StructuralChange:
-        """Insert an XML fragment and maintain indices."""
-        with self.metrics.timer("index.update").time():
-            change = self.store.insert_xml(parent_nid, fragment, before_nid)
-            apply_structural_change(self.store, change, self.indexes)
-            self._substring_apply_change(change)
-        self.metrics.counter("index.updates").inc()
-        self.bump_epoch()
+        """Insert an XML fragment and maintain indices (stop-the-world)."""
+        with self._exclusive():
+            with self.metrics.timer("index.update").time():
+                change = self.store.insert_xml(parent_nid, fragment, before_nid)
+                apply_structural_change(self.store, change, self.indexes)
+                self._substring_apply_change(change)
+            self.metrics.counter("index.updates").inc()
+            self.bump_epoch()
         return change
 
     def insert_attribute(
         self, owner_nid: int, name: str, value: str
     ) -> StructuralChange:
-        """Add an attribute to an element and index its value."""
-        with self.metrics.timer("index.update").time():
-            change = self.store.insert_attribute(owner_nid, name, value)
-            apply_structural_change(self.store, change, self.indexes)
-            self._substring_apply_change(change)
-        self.metrics.counter("index.updates").inc()
-        self.bump_epoch()
+        """Add an attribute to an element and index its value
+        (stop-the-world)."""
+        with self._exclusive():
+            with self.metrics.timer("index.update").time():
+                change = self.store.insert_attribute(owner_nid, name, value)
+                apply_structural_change(self.store, change, self.indexes)
+                self._substring_apply_change(change)
+            self.metrics.counter("index.updates").inc()
+            self.bump_epoch()
         return change
 
     def delete_attribute(self, attr_nid: int) -> StructuralChange:
@@ -298,9 +377,10 @@ class IndexManager:
     def rename(self, nid: int, new_name: str) -> None:
         """Rename an element/attribute/PI — no index maintenance needed
         (the generic indices are name-agnostic by design)."""
-        self.store.rename(nid, new_name)
-        # A rename can change which nodes a name test selects.
-        self.bump_epoch()
+        with self._exclusive():
+            self.store.rename(nid, new_name)
+            # A rename can change which nodes a name test selects.
+            self.bump_epoch()
 
     def _substring_apply_change(self, change: StructuralChange) -> None:
         self._leaf_nids_cache.pop(change.document.name, None)
@@ -424,8 +504,16 @@ class IndexManager:
         recomputed once the index has drifted by more than
         :data:`STATS_DRIFT_MIN` mutations or ``1/STATS_DRIFT_DENOMINATOR``
         of its size since they were taken.
+
+        Inside a read view the statistics come from the view's pinned
+        trees instead (memoized per view), so a plan priced at epoch E
+        never mixes in a newer epoch's distribution.
         """
         from .statistics import StringIndexStatistics, TypedIndexStatistics
+
+        view = active_view()
+        if view is not None:
+            return view.statistics(kind)
 
         if kind == "string":
             if self.string_index is None:

@@ -111,6 +111,22 @@ class TypedIndexStatistics:
             mutations=index.mutations,
         )
 
+    @classmethod
+    def from_tree(
+        cls, tree, mutations: int, buckets: int = 32
+    ) -> "TypedIndexStatistics":
+        """Build from a pinned tree snapshot (epoch-consistent reads).
+
+        ``mutations`` records the snapshot's identity (a read view
+        passes its epoch) — drift-based refresh does not apply to a
+        frozen view.
+        """
+        values = [value for value, _nid in tree.keys()]
+        return cls(
+            histogram=EquiDepthHistogram(values, buckets),
+            mutations=mutations,
+        )
+
     def estimate(self, op: str, literal: Any) -> float:
         """Estimated candidates for ``value <op> literal``."""
         histogram = self.histogram
@@ -148,6 +164,16 @@ class StringIndexStatistics:
             entries=len(index),
             distinct_hashes=max(1, distinct),
             mutations=index.mutations,
+        )
+
+    @classmethod
+    def from_tree(cls, tree, mutations: int) -> "StringIndexStatistics":
+        """Build from a pinned tree snapshot; keys are (hash, nid)."""
+        distinct = len({key[0] for key in tree.keys()})
+        return cls(
+            entries=len(tree),
+            distinct_hashes=max(1, distinct),
+            mutations=mutations,
         )
 
     def estimate_equal(self) -> float:

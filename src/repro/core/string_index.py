@@ -19,6 +19,7 @@ import heapq
 from typing import Iterator
 
 from ..btree import BPlusTree
+from .concurrency import active_view
 from .hashing import EMPTY_HASH, combine, hash_string, hash_strings
 
 __all__ = ["StringIndex"]
@@ -133,9 +134,19 @@ class StringIndex:
     # Lookup
     # ------------------------------------------------------------------
 
+    def _lookup_tree(self):
+        """The tree to answer lookups from: the active read view's
+        pinned snapshot when one is installed, else the live tree."""
+        view = active_view()
+        if view is not None:
+            pinned = view.tree_for(self)
+            if pinned is not None:
+                return pinned
+        return self.tree
+
     def lookup_hash(self, hash_value: int) -> Iterator[int]:
         """All nids whose string value hashes to ``hash_value``."""
-        for (_hash, nid), _none in self.tree.range(
+        for (_hash, nid), _none in self._lookup_tree().range(
             (hash_value, -1), (hash_value, _MAX_NID)
         ):
             yield nid

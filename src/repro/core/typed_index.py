@@ -20,6 +20,7 @@ import heapq
 from typing import Any, Iterator
 
 from ..btree import BPlusTree
+from .concurrency import active_view
 from .fsm import Fragment, REJECT_FRAGMENT, get_plugin
 
 __all__ = ["TypedIndex"]
@@ -148,9 +149,19 @@ class TypedIndex:
         """Typed value of a node, or None if not castable."""
         return self._value_of.get(nid)
 
+    def _lookup_tree(self):
+        """The tree to answer lookups from: the active read view's
+        pinned snapshot when one is installed, else the live tree."""
+        view = active_view()
+        if view is not None:
+            pinned = view.tree_for(self)
+            if pinned is not None:
+                return pinned
+        return self.tree
+
     def lookup_equal(self, value: Any) -> Iterator[int]:
         """nids whose typed value equals ``value`` (no false positives)."""
-        for (_value, nid), _none in self.tree.range(
+        for (_value, nid), _none in self._lookup_tree().range(
             (value, -1), (value, _MAX_NID)
         ):
             yield nid
@@ -165,7 +176,7 @@ class TypedIndex:
         """(value, nid) pairs with ``low <op> value <op> high``."""
         low_key = None if low is None else (low, -1 if include_low else _MAX_NID)
         high_key = None if high is None else (high, _MAX_NID if include_high else -1)
-        for (value, nid), _none in self.tree.range(
+        for (value, nid), _none in self._lookup_tree().range(
             low_key, high_key, include_low=True, include_high=include_high
         ):
             yield value, nid
@@ -180,9 +191,8 @@ class TypedIndex:
         """
         if k <= 0:
             return []
-        entries = (
-            self.tree.items_reversed() if largest else self.tree.items()
-        )
+        tree = self._lookup_tree()
+        entries = tree.items_reversed() if largest else tree.items()
         result = []
         for (value, nid), _none in entries:
             result.append((value, nid))

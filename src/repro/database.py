@@ -18,13 +18,17 @@ Example::
 from __future__ import annotations
 
 import os
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from .core import IndexManager
+from .core.concurrency import active_view
 from .query import explain as _explain
 from .query import query as _query
 from .storage import faults
+from .storage.groupcommit import GroupCommitLog
 from .storage.persist import (
     load_manager,
     manifest_epoch,
@@ -91,6 +95,14 @@ class Database:
             (serial), ``"auto"`` or a worker count (see
             :mod:`repro.core.parallel`).
         parallel_backend: ``"process"`` (default) or ``"thread"``.
+        concurrent: Enable the concurrent serving path: queries pin
+            snapshot-isolated read views, text updates run under MVCC,
+            structural updates stop the world (docs/concurrency.md).
+        group_commit: Batch concurrent writers' WAL records so one
+            fsync covers a whole batch (implies ``concurrent``).
+        group_batch_max: Most records per commit batch.
+        group_batch_wait_ms: How long the commit leader lingers for a
+            fuller batch (0 = commit immediately).
     """
 
     def __init__(
@@ -103,10 +115,15 @@ class Database:
         checkpoint_every: int = 10_000,
         parallel: int | str | None = None,
         parallel_backend: str = "process",
+        concurrent: bool = False,
+        group_commit: bool = False,
+        group_batch_max: int = 32,
+        group_batch_wait_ms: float = 0.0,
     ):
         self.path = path
         self._checkpoint_every = checkpoint_every
         self._pending = 0
+        self._pending_lock = threading.Lock()
         wal_path = os.path.join(path, _WAL_FILE)
         if os.path.exists(os.path.join(path, _MANIFEST)):
             manifest = read_manifest(path)
@@ -157,6 +174,18 @@ class Database:
             # Replayed records are folded, stale/corrupt records must
             # not survive, and legacy logs upgrade to the framed format.
             self._wal.truncate(epoch=self.checkpoint_epoch)
+        # Concurrency is enabled only after recovery: replay is
+        # single-threaded by construction.
+        self._group: GroupCommitLog | None = None
+        if concurrent or group_commit:
+            self.manager.enable_concurrency()
+        if group_commit:
+            self._group = GroupCommitLog(
+                self._wal,
+                batch_max=group_batch_max,
+                batch_wait=group_batch_wait_ms / 1000.0,
+                metrics=self.manager.metrics,
+            )
 
     def _record_recovery_metrics(self) -> None:
         metrics = self.manager.metrics
@@ -196,9 +225,48 @@ class Database:
 
     def _log(self, record: WalRecord) -> None:
         self._wal.append(record)
-        self._pending += 1
-        if self._checkpoint_every and self._pending >= self._checkpoint_every:
+        self._bump_pending()
+
+    def _bump_pending(self) -> None:
+        with self._pending_lock:
+            self._pending += 1
+            due = (
+                self._checkpoint_every
+                and self._pending >= self._checkpoint_every
+            )
+        if due:
             self.checkpoint()
+
+    def _write_scope(self):
+        """Serializes apply + WAL-append so log order equals apply
+        order across writer threads (no-op when single-threaded)."""
+        controller = self.manager.concurrency
+        if controller is None:
+            return nullcontext()
+        return controller.write_lock
+
+    def _logged(self, apply, record: WalRecord):
+        """Run one logged update: apply it and make it durable.
+
+        Concurrent path: the in-memory apply and the WAL enqueue
+        happen under the writer lock; the *wait* for durability
+        happens outside it, so the next writer's apply overlaps this
+        record's fsync (and, with group commit, several writers share
+        one fsync).  The update is acknowledged — this method returns —
+        only once its record is on storage at the configured sync
+        level.
+        """
+        if self._group is None:
+            with self._write_scope():
+                result = apply()
+                self._log(record)
+            return result
+        with self._write_scope():
+            result = apply()
+            seq = self._group.enqueue(record)
+        self._group.wait_durable(seq)
+        self._bump_pending()
+        return result
 
     # ------------------------------------------------------------------
     # Document management
@@ -224,48 +292,64 @@ class Database:
     # ------------------------------------------------------------------
 
     def update_text(self, nid: int, new_text: str) -> int:
-        count = self.manager.update_text(nid, new_text)
-        self._log(WalRecord(TEXT_UPDATE, nid, text=new_text))
-        return count
+        return self._logged(
+            lambda: self.manager.update_text(nid, new_text),
+            WalRecord(TEXT_UPDATE, nid, text=new_text),
+        )
 
     def insert_xml(self, parent_nid: int, fragment: str,
                    before_nid: int | None = None):
-        change = self.manager.insert_xml(parent_nid, fragment, before_nid)
-        self._log(
+        return self._logged(
+            lambda: self.manager.insert_xml(parent_nid, fragment, before_nid),
             WalRecord(
                 INSERT_XML,
                 parent_nid,
                 text=fragment,
                 extra=0 if before_nid is None else before_nid + 1,
-            )
+            ),
         )
-        return change
 
     def delete_subtree(self, nid: int):
-        change = self.manager.delete_subtree(nid)
-        self._log(WalRecord(DELETE_SUBTREE, nid))
-        return change
+        return self._logged(
+            lambda: self.manager.delete_subtree(nid),
+            WalRecord(DELETE_SUBTREE, nid),
+        )
 
     def insert_attribute(self, owner_nid: int, name: str, value: str):
-        change = self.manager.insert_attribute(owner_nid, name, value)
-        self._log(WalRecord(INSERT_ATTRIBUTE, owner_nid, text=value, name=name))
-        return change
+        return self._logged(
+            lambda: self.manager.insert_attribute(owner_nid, name, value),
+            WalRecord(INSERT_ATTRIBUTE, owner_nid, text=value, name=name),
+        )
 
     def delete_attribute(self, attr_nid: int):
-        change = self.manager.delete_attribute(attr_nid)
-        self._log(WalRecord(DELETE_ATTRIBUTE, attr_nid))
-        return change
+        return self._logged(
+            lambda: self.manager.delete_attribute(attr_nid),
+            WalRecord(DELETE_ATTRIBUTE, attr_nid),
+        )
 
     def rename(self, nid: int, new_name: str) -> None:
-        self.manager.rename(nid, new_name)
-        self._log(WalRecord(RENAME, nid, name=new_name))
+        self._logged(
+            lambda: self.manager.rename(nid, new_name),
+            WalRecord(RENAME, nid, name=new_name),
+        )
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
 
+    def read_view(self):
+        """A pinned snapshot view (context manager; requires
+        ``concurrent=True``).  Queries and lookups inside the scope all
+        run at the pinned epoch."""
+        return self.manager.read_view()
+
     def query(self, text: str, document: str | None = None,
               use_indexes: bool | str = True) -> list[int]:
+        controller = self.manager.concurrency
+        if controller is not None and active_view() is None:
+            # Auto-pin: the whole evaluation runs at one epoch.
+            with controller.read_view():
+                return _query(self.manager, text, document, use_indexes)
         return _query(self.manager, text, document, use_indexes)
 
     def explain(self, text: str, execute: bool = False):
@@ -312,17 +396,31 @@ class Database:
         (manifest written last); only then is the WAL truncated and
         moved to the new epoch.  A crash in between is safe: recovery
         skips WAL records whose epoch predates the committed snapshot.
+
+        Under the concurrent serving path this is a stop-the-world
+        operation: the exclusive latch drains readers and writers, and
+        any queued group-commit records are flushed before the
+        snapshot, so the truncated WAL never holds an applied-but-
+        unwritten update.
         """
-        self.checkpoint_epoch = save_manager(
-            self.manager, self.path, epoch=self.checkpoint_epoch + 1
-        )
-        faults.crashpoint("checkpoint.after_snapshot")
-        self._wal.truncate(epoch=self.checkpoint_epoch)
-        self._pending = 0
+        controller = self.manager.concurrency
+        scope = nullcontext() if controller is None else controller.exclusive()
+        with scope:
+            if self._group is not None:
+                self._group.drain()
+            self.checkpoint_epoch = save_manager(
+                self.manager, self.path, epoch=self.checkpoint_epoch + 1
+            )
+            faults.crashpoint("checkpoint.after_snapshot")
+            self._wal.truncate(epoch=self.checkpoint_epoch)
+            with self._pending_lock:
+                self._pending = 0
 
     def close(self, checkpoint: bool = True) -> None:
         if checkpoint:
             self.checkpoint()
+        elif self._group is not None and not self._group.poisoned:
+            self._group.drain()
         self._wal.close()
 
     def __enter__(self) -> "Database":

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..core.concurrency import active_view
 from ..core.manager import IndexManager
 from ..core.substring_index import literal_factors
 from ..xmldb.document import Document
@@ -333,18 +334,28 @@ def _plan_for(
     use_indexes: bool | str,
 ) -> PlanNode:
     """Cached :func:`build_plan`, keyed by query text, document and
-    mode; entries are valid for one index epoch only."""
+    mode; entries are valid for one index epoch only.
+
+    A reader inside a pinned view resolves the epoch from the *view*,
+    not the live manager: its plan is cached under — and priced
+    against statistics of — the epoch it pinned, so a concurrent
+    writer's newer statistics can never leak into it (and its plan
+    never poisons the cache for readers at the newer epoch).
+    """
+    view = active_view()
+    epoch = manager.epoch if view is None else view.epoch
     cache = manager._plan_cache
     key = (text, doc.name, use_indexes)
     entry = cache.get(key)
-    if entry is not None and entry[0] == manager.epoch:
+    if entry is not None and entry[0] == epoch:
         manager.metrics.counter("query.plan_cache.hits").inc()
         return entry[1]
     manager.metrics.counter("query.plan_cache.misses").inc()
     plan = build_plan(manager, doc, path, use_indexes)
-    if len(cache) >= PLAN_CACHE_SIZE:
-        cache.pop(next(iter(cache)))
-    cache[key] = (manager.epoch, plan)
+    with manager._plan_lock:
+        if len(cache) >= PLAN_CACHE_SIZE:
+            cache.pop(next(iter(cache)))
+        cache[key] = (epoch, plan)
     return plan
 
 

@@ -194,6 +194,8 @@ class WriteAheadLog:
         self._fh.flush()
         if self._sync == "fsync":
             os.fsync(self._fh.fileno())
+            if self._metrics is not None:
+                self._metrics.counter("wal.fsyncs").inc()
 
     def _append(self, record: WalRecord) -> None:
         faults.fault_write(
@@ -210,6 +212,40 @@ class WriteAheadLog:
         with self._metrics.timer("wal.append").time():
             self._append(record)
         self._metrics.counter("wal.appends").inc()
+
+    def append_many(self, records: list[WalRecord]) -> None:
+        """Append a batch of records with ONE write and one flush/fsync.
+
+        This is the group-commit primitive: the frames are
+        concatenated and handed to the OS as a single write, so the
+        whole batch costs the same durable-media round trip as a
+        single record.  Frames are still individually CRC-guarded, so
+        a crash mid-batch recovers the longest valid prefix — exactly
+        the acknowledgment contract of
+        :class:`repro.storage.groupcommit.GroupCommitLog`.
+        """
+        if not records:
+            return
+        payload = b"".join(
+            encode_frame(record, self.epoch) for record in records
+        )
+        timer = (
+            self._metrics.timer("wal.append").time()
+            if self._metrics is not None
+            else None
+        )
+        if timer is not None:
+            timer.__enter__()
+        try:
+            faults.fault_write(self._fh, payload, "wal.append")
+            if self._sync != "none":
+                self._flush()
+            faults.crashpoint("wal.appended")
+        finally:
+            if timer is not None:
+                timer.__exit__(None, None, None)
+        if self._metrics is not None:
+            self._metrics.counter("wal.appends").inc(len(records))
 
     def truncate(self, epoch: int | None = None) -> None:
         """Reset the log after a checkpoint.

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import nullcontext
 from typing import Iterator
 
 from ..core.manager import IndexManager
@@ -100,7 +101,15 @@ class TransactionManager:
             return doc.text_of(pre)
 
     def _commit(self, txn: "Transaction") -> int:
-        with self._mutex:
+        # Under the concurrent serving path, the whole commit — txn
+        # validation plus index apply/publish — runs inside the
+        # controller's writer lock, so a transaction commit is one
+        # atomic epoch installation with respect to Database-level
+        # writers and snapshot readers (update_texts re-enters the
+        # lock; it is reentrant by design).
+        controller = self.index_manager.concurrency
+        outer = nullcontext() if controller is None else controller.write_lock
+        with outer, self._mutex:
             # First-committer-wins validation: only the updated text
             # nodes themselves are checked — never their ancestors.
             for nid in txn._writes:
@@ -120,6 +129,7 @@ class TransactionManager:
             # Apply writes and recompute ancestors from the *live*
             # children values (the Section 5.1 commit-time re-read).
             self.index_manager.update_texts(list(txn._writes.items()))
+            txn.commit_epoch = self.index_manager.epoch
             return ts
 
 
@@ -132,6 +142,9 @@ class Transaction:
         self._writes: dict[int, str] = {}
         self.status = "active"
         self.commit_ts: int | None = None
+        #: Index epoch this transaction's apply published (set at
+        #: commit); readers pinned below it cannot see its writes.
+        self.commit_epoch: int | None = None
 
     # ------------------------------------------------------------------
     # Operations

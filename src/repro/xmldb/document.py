@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..errors import DocumentError
+from .mvcc import read_epoch
 from .names import Vocabulary
 from .parser import escape_attribute, escape_text
 
@@ -59,6 +60,9 @@ class Document:
         self.nid: list[int] = []
         self.parent_nid: list[int] = []
         self.texts: list[str] = []
+        #: MVCC before-value overlay for the text heap; None until the
+        #: concurrency controller activates it (see xmldb/mvcc.py).
+        self.text_overlay = None
         self._nid_to_pre: dict[int, int] = {}
         #: Serialized size of the source XML in bytes (set by the
         #: shredder); used for the paper's Table 1 "Size MB" column.
@@ -113,10 +117,19 @@ class Document:
         return pre
 
     def text_of(self, pre: int) -> str:
-        """Own text content of a text/attribute/comment/PI node."""
+        """Own text content of a text/attribute/comment/PI node.
+
+        A reader pinned at an epoch (see :mod:`repro.xmldb.mvcc`) sees
+        the slot's value as of that epoch, not a concurrent writer's.
+        """
         slot = self.text_id[pre]
         if slot < 0:
             raise DocumentError(f"node at pre {pre} has no text content")
+        overlay = self.text_overlay
+        if overlay is not None:
+            epoch = read_epoch()
+            if epoch is not None:
+                return overlay.resolve(slot, self.texts[slot], epoch)
         return self.texts[slot]
 
     def name_of(self, pre: int) -> str:
@@ -197,6 +210,15 @@ class Document:
         kinds = self.kind
         text_id = self.text_id
         texts = self.texts
+        overlay = self.text_overlay
+        if overlay is not None:
+            epoch = read_epoch()
+            if epoch is not None:
+                return "".join(
+                    overlay.resolve(text_id[d], texts[text_id[d]], epoch)
+                    for d in self.descendants(pre)
+                    if kinds[d] == TEXT
+                )
         return "".join(
             texts[text_id[d]]
             for d in self.descendants(pre)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench import figure9, figure10, figure11, parallel, table1
+from repro.bench import concurrent, figure9, figure10, figure11, parallel, \
+    table1
 from repro.bench.harness import format_bytes, measure_seconds, render_table
 
 SCALE = 0.02
@@ -140,6 +141,31 @@ class TestParallelDriver:
         assert payload["cores_available"] >= 1
         assert payload["workers"] == [2]
         assert payload["aggregate"]["speedup"]["2"] > 0
+
+
+class TestConcurrentDriver:
+    def test_run_and_report(self, tmp_path):
+        results = concurrent.run(
+            writer_counts=(1, 2), updates_per_writer=15
+        )
+        assert {(r.writers, r.group_commit) for r in results} == {
+            (1, False), (2, False), (1, True), (2, True),
+        }
+        for result in results:
+            assert result.commits == result.writers * 15
+            assert result.commits_per_second > 0
+            assert result.commit_p99_us >= result.commit_p50_us >= 0
+            if not result.group_commit:
+                assert result.batches == 0
+        report = concurrent.format_report(results)
+        assert "commits/s" in report and "batch occ" in report
+        path = tmp_path / "serve.json"
+        payload = concurrent.write_json(results, path=str(path))
+        assert path.exists()
+        assert payload["bench"] == "concurrent_serve"
+        assert payload["aggregate"]["speedup_vs_baseline"] > 0
+        baseline = payload["aggregate"]["baseline_1_writer_fsync_per_commit"]
+        assert baseline > 0
 
 
 class TestAblationBaselines:

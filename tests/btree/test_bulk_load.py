@@ -3,8 +3,8 @@
 The creation path (paper Figure 7) produces all index entries in one
 pass; :meth:`BPlusTree.bulk_load` packs them into leaves bottom-up
 instead of inserting one by one.  These tests pin down the structural
-contract — packed leaves, complete leaf chain, correct inner
-separators — and the equivalence with an insert-built tree.
+contract — packed leaves, correct inner separators — and the
+equivalence with an insert-built tree.
 """
 
 import random
@@ -24,16 +24,6 @@ def bulk_loaded(entries, order=8):
 
 
 def leaves_of(tree):
-    """The leaf chain, first to last."""
-    result = []
-    leaf = tree._first_leaf
-    while leaf is not None:
-        result.append(leaf)
-        leaf = leaf.next
-    return result
-
-
-def leaves_by_descent(tree):
     """Leaves reached through the inner levels, left to right."""
     level = [tree._root]
     while isinstance(level[0], _Inner):
@@ -41,16 +31,14 @@ def leaves_by_descent(tree):
     return level
 
 
-class TestLeafChain:
-    def test_chain_covers_every_leaf(self):
+class TestLeafScan:
+    def test_scan_covers_every_leaf(self):
         tree = bulk_loaded([(i, None) for i in range(1000)])
-        assert leaves_of(tree) == leaves_by_descent(tree)
+        scanned = [k for k, _ in tree.items()]
+        from_leaves = [k for leaf in leaves_of(tree) for k in leaf.keys]
+        assert scanned == from_leaves
 
-    def test_chain_is_terminated(self):
-        tree = bulk_loaded([(i, None) for i in range(100)])
-        assert leaves_of(tree)[-1].next is None
-
-    def test_chain_yields_entries_in_order(self):
+    def test_scan_yields_entries_in_order(self):
         entries = [(i, -i) for i in range(777)]
         tree = bulk_loaded(entries)
         assert list(tree.items()) == entries

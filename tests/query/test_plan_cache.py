@@ -117,6 +117,80 @@ class TestCacheInvalidation:
         assert m.epoch >= start + 2
 
 
+class TestEpochKeyedEntries:
+    """Snapshot readers and the plan cache (docs/concurrency.md).
+
+    Cached plans are keyed by the epoch they were priced at.  A reader
+    pinned at an old epoch must never be served (or poison the cache
+    with) a plan priced against a newer epoch's statistics — and vice
+    versa.
+    """
+
+    def _mutate_in_thread(self, m, nid, value):
+        import threading
+
+        t = threading.Thread(target=lambda: m.update_text(nid, value))
+        t.start()
+        t.join(timeout=60)
+        assert not t.is_alive()
+
+    def test_pinned_view_never_sees_newer_epoch_plan(self):
+        m = _manager()
+        m.enable_concurrency()
+        with m.read_view() as view:
+            assert _names_of(m, query(m, Q)) == ["Arthur"]
+            pinned = view.epoch
+            # A concurrent writer publishes a newer epoch.
+            self._mutate_in_thread(m, _text_nid(m, "7"), "42")
+            assert m.epoch > pinned
+            # Unpinned clients re-plan at the new epoch and see Ford...
+            t = []
+            import threading
+
+            worker = threading.Thread(
+                target=lambda: t.append(query(m, Q))
+            )
+            worker.start()
+            worker.join(timeout=60)
+            assert _names_of(m, t[0]) == ["Arthur", "Ford"]
+            cached_epoch, _plan = m._plan_cache[(Q, "people", True)]
+            assert cached_epoch == m.epoch
+            # ...but this view still answers — and re-prices — at its
+            # pinned epoch: the newer entry is a miss, not a stale hit.
+            misses = _counters(m)["query.plan_cache.misses"]
+            assert _names_of(m, query(m, Q)) == ["Arthur"]
+            assert _counters(m)["query.plan_cache.misses"] == misses + 1
+            cached_epoch, _plan = m._plan_cache[(Q, "people", True)]
+            assert cached_epoch == pinned
+
+    def test_view_statistics_are_pinned(self):
+        m = _manager()
+        m.enable_concurrency()
+        with m.read_view():
+            before = m.statistics("string").entries
+            self._mutate_in_thread(m, _text_nid(m, "Ford"), "Arthur")
+            # The live distribution changed; the view's has not (and is
+            # memoized per view, so repeated pricing is stable).
+            assert m.statistics("string").entries == before
+        assert m.statistics("string").entries == before
+
+    def test_view_epoch_plan_does_not_poison_live_cache(self):
+        m = _manager()
+        m.enable_concurrency()
+        self._mutate_in_thread(m, _text_nid(m, "99"), "42")
+        live = m.epoch
+        with m.read_view() as view:
+            assert view.epoch == live
+            query(m, Q)
+        # The entry priced inside the view is valid for live clients
+        # only because the epochs coincide; after one more mutation it
+        # must be re-priced, not served.
+        self._mutate_in_thread(m, _text_nid(m, "7"), "42")
+        misses = _counters(m)["query.plan_cache.misses"]
+        assert _names_of(m, query(m, Q)) == ["Arthur", "Ford", "Marvin"]
+        assert _counters(m)["query.plan_cache.misses"] == misses + 1
+
+
 class TestDatabaseFacade:
     def test_metrics_expose_cache_counters(self, tmp_path):
         from repro.database import Database
