@@ -224,6 +224,10 @@ class BPlusTree:
         self._root: _Leaf | _Inner = _Leaf()
         self._size = 0
         self._height = 1
+        # (root, size, height) swapped as one tuple at every
+        # publication point, so snapshot() never pairs an old root with
+        # a new size/height even when called off the writer lock.
+        self._published: tuple[_Leaf | _Inner, int, int] = (self._root, 0, 1)
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -252,9 +256,17 @@ class BPlusTree:
         """Pin the current root as an immutable :class:`TreeSnapshot`.
 
         O(1): no copying happens at capture time; copy-on-write happens
-        on the *writer's* side, one path per mutation.
+        on the *writer's* side, one path per mutation.  Reads the
+        single published (root, size, height) tuple, so the triple is
+        always mutually consistent even off the writer lock.
         """
-        return TreeSnapshot(self._root, self._size, self._height)
+        root, size, height = self._published
+        return TreeSnapshot(root, size, height)
+
+    def _publish(self, root: _Leaf | _Inner) -> None:
+        """Install ``root`` and its consistent (size, height) triple."""
+        self._root = root
+        self._published = (root, self._size, self._height)
 
     # ------------------------------------------------------------------
     # Insertion (path-copying)
@@ -274,14 +286,14 @@ class BPlusTree:
         idx = bisect.bisect_left(node.keys, key)
         if idx < len(node.keys) and node.keys[idx] == key:
             node.values[idx] = value
-            self._root = new_root
+            self._publish(new_root)
             return False
         node.keys.insert(idx, key)
         node.values.insert(idx, value)
         self._size += 1
         if len(node.keys) > self._order:
             new_root = self._split(node, path, new_root)
-        self._root = new_root  # publication point
+        self._publish(new_root)  # publication point
         return True
 
     def _split(
@@ -352,7 +364,7 @@ class BPlusTree:
         if not node.keys and path:
             self._drop_empty_leaf(path)
             new_root = self._collapse(new_root)
-        self._root = new_root  # publication point
+        self._publish(new_root)  # publication point
         return True
 
     def _drop_empty_leaf(self, path: list[tuple[_Inner, int]]) -> None:
@@ -487,7 +499,7 @@ class BPlusTree:
             height += 1
         self._size = count
         self._height = height
-        self._root = level[0]  # publication point
+        self._publish(level[0])  # publication point
 
     # ------------------------------------------------------------------
     # Storage model

@@ -179,9 +179,10 @@ class ReadView:
         if self._depth == 0:
             controller = self._controller
             controller.latch.acquire_shared()
-            self.snapshot = controller.published()
+            # Atomic capture + pin: a publish/prune cannot slip between
+            # reading the snapshot and registering against it.
+            self.snapshot = controller.pin(self)
             self.epoch = self.snapshot.epoch
-            controller.register_pin(self, self.epoch)
             self._previous_view = active_view()
             _tls.view = self
             self._reading = reading_at(self.epoch)
@@ -225,8 +226,11 @@ class ConcurrencyController:
         #: Serializes writers (text and structural); reentrant so the
         #: Database layer can hold it across WAL append + apply.
         self.write_lock = threading.RLock()
-        self._publish_lock = threading.Lock()
-        self._pin_lock = threading.Lock()
+        #: One lock guards the published snapshot *and* the pin table:
+        #: a reader's capture+pin and a writer's publish are atomic
+        #: with respect to each other, so pruning can never compute an
+        #: oldest-pin that misses a reader mid-registration.
+        self._state_lock = threading.Lock()
         self._pins: dict[int, int] = {}  # id(view) -> pinned epoch
         self._published = self._capture()
         self._attach_overlays()
@@ -245,14 +249,14 @@ class ConcurrencyController:
         epoch); the assignment is the readers' visibility point.
         """
         snapshot = self._capture()
-        with self._publish_lock:
+        with self._state_lock:
             self._published = snapshot
         self._attach_overlays()
         self.prune_overlays()
         self.manager.metrics.counter("concurrency.publishes").inc()
 
     def published(self) -> ManagerSnapshot:
-        with self._publish_lock:
+        with self._state_lock:
             return self._published
 
     def _attach_overlays(self) -> None:
@@ -265,38 +269,79 @@ class ConcurrencyController:
     def read_view(self) -> ReadView:
         return ReadView(self)
 
-    def register_pin(self, view: ReadView, epoch: int) -> None:
-        with self._pin_lock:
-            self._pins[id(view)] = epoch
+    def pin(self, view: ReadView) -> ManagerSnapshot:
+        """Atomically capture the published snapshot and pin it.
+
+        Snapshot read and pin registration happen under one lock, so a
+        concurrent publish+prune either sees this view's pin or hands
+        it the new snapshot — never an unpinned stale epoch whose
+        overlay entries pruning could reclaim.
+        """
+        with self._state_lock:
+            snapshot = self._published
+            self._pins[id(view)] = snapshot.epoch
         self.manager.metrics.counter("concurrency.epoch_pins").inc()
+        return snapshot
 
     def release_pin(self, view: ReadView) -> None:
-        with self._pin_lock:
+        with self._state_lock:
             self._pins.pop(id(view), None)
             empty = not self._pins
-        if empty:
-            self.prune_overlays()
+        # Prune only if no writer is mid-update: holding the writer
+        # lock excludes overlay record() calls, whose freshly written
+        # before-values (stamped for the not-yet-published epoch) must
+        # survive until that writer publishes.  Blocking here would
+        # deadlock — this thread still holds the latch shared, and a
+        # structural writer may hold write_lock while waiting for
+        # shared holders to drain — so a busy writer means we skip and
+        # let its own publish() prune.
+        if empty and self.write_lock.acquire(blocking=False):
+            try:
+                self.prune_overlays()
+            finally:
+                self.write_lock.release()
 
     def oldest_pin(self) -> int | None:
-        with self._pin_lock:
+        with self._state_lock:
             return min(self._pins.values()) if self._pins else None
 
     def prune_overlays(self) -> None:
         """Drop overlay versions no pinned reader can still observe.
 
-        Runs under the writer lock or with no writers active; overlay
-        ``record`` only ever happens under the writer lock, so pruning
-        from the last reader out cannot race a recording writer's
-        chain mutation — the GIL makes the list swap atomic and a
-        pinned reader re-reads the chain per lookup.
+        The published epoch acts as an implicit pin: a new reader may
+        pin it at any instant, and a mid-flight text update's
+        before-values are stamped ``published + 1``, so the prune bound
+        is ``min(oldest_pin, published_epoch)`` — entries above the
+        published epoch always survive until their writer publishes.
+        Callers hold the writer lock (publish path) or have verified no
+        writer is active (release_pin's non-blocking acquire), so
+        pruning never races a recording writer's chain mutation.
         """
-        oldest = self.oldest_pin()
+        with self._state_lock:
+            oldest = min(self._pins.values()) if self._pins else None
+            published = self._published.epoch
+        bound = published if oldest is None else min(oldest, published)
         for doc in self.manager.store.documents.values():
             overlay = doc.text_overlay
             if overlay is not None:
-                overlay.prune(oldest)
+                overlay.prune(bound)
 
     # -- writer scopes ---------------------------------------------------
+
+    def check_write_allowed(self) -> None:
+        """Fail fast instead of deadlocking on a write inside a view.
+
+        A thread inside a :class:`ReadView` holds the latch shared; if
+        it then waits on ``write_lock`` while a structural writer holds
+        that lock and waits in ``latch.exclusive()`` for shared holders
+        to drain, both hang.  Mirrors the latch's shared→exclusive
+        upgrade check: raise before entering the cycle.
+        """
+        if active_view() is not None:
+            raise RuntimeError(
+                "cannot write from inside a read view: close the view "
+                "before issuing updates (see docs/concurrency.md)"
+            )
 
     @contextmanager
     def text_update(self) -> Iterator[int]:
@@ -306,6 +351,7 @@ class ConcurrencyController:
         before-values recorded into the overlay carry this stamp.
         Publishes the new snapshot on exit.
         """
+        self.check_write_allowed()
         with self.write_lock:
             with self.latch.shared():
                 yield self.manager.epoch + 1
@@ -319,6 +365,7 @@ class ConcurrencyController:
         while we hold the latch, overlays are cleared wholesale and
         the new snapshot is published on exit.
         """
+        self.check_write_allowed()
         with self.write_lock:
             with self.latch.exclusive():
                 self.manager.metrics.counter("concurrency.exclusive_ops").inc()

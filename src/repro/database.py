@@ -239,10 +239,15 @@ class Database:
 
     def _write_scope(self):
         """Serializes apply + WAL-append so log order equals apply
-        order across writer threads (no-op when single-threaded)."""
+        order across writer threads (no-op when single-threaded).
+        Raises instead of deadlocking if the calling thread is inside a
+        read view (it holds the latch shared; waiting on the writer
+        lock here could cycle with a structural writer draining
+        shared holders)."""
         controller = self.manager.concurrency
         if controller is None:
             return nullcontext()
+        controller.check_write_allowed()
         return controller.write_lock
 
     def _logged(self, apply, record: WalRecord):
@@ -356,6 +361,12 @@ class Database:
         """Plan report (see :func:`repro.query.planner.explain`): an
         :class:`~repro.query.planner.Explanation` comparable to the
         legacy summary strings and carrying per-document plan trees."""
+        controller = self.manager.concurrency
+        if controller is not None and active_view() is None:
+            # Auto-pin like query(): pricing and (with execute=True)
+            # operator execution must not straddle epochs.
+            with controller.read_view():
+                return _explain(self.manager, text, execute=execute)
         return _explain(self.manager, text, execute=execute)
 
     def metrics(self) -> dict:

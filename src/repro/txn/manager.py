@@ -108,6 +108,11 @@ class TransactionManager:
         # writers and snapshot readers (update_texts re-enters the
         # lock; it is reentrant by design).
         controller = self.index_manager.concurrency
+        if controller is not None:
+            # Committing from inside a read view would wait on the
+            # writer lock while holding the latch shared — fail fast
+            # rather than risk the cross-lock cycle.
+            controller.check_write_allowed()
         outer = nullcontext() if controller is None else controller.write_lock
         with outer, self._mutex:
             # First-committer-wins validation: only the updated text

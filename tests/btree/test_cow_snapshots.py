@@ -149,3 +149,44 @@ class TestThreadedScans:
             t.join(timeout=30)
         assert not failures, f"inconsistent scan: {failures[0][:20]}..."
         tree.check_invariants()
+
+    def test_snapshot_triple_is_atomic_under_writes(self):
+        """len(snapshot) must equal the snapshot's actual entry count.
+
+        The (root, size, height) triple is published as one tuple;
+        before that fix a snapshot taken off the writer lock could pair
+        the old root with the already-bumped size/height, making
+        len(snap) disagree with the pinned contents (the statistics
+        builders divide by it)."""
+        tree = BPlusTree(order=4)
+        for i in range(0, 200, 2):
+            tree.insert(i, i)
+        done = threading.Event()
+        failures = []
+
+        def reader():
+            while not done.is_set():
+                snap = tree.snapshot()
+                count = sum(1 for _ in snap.items())
+                if count != len(snap):
+                    failures.append((len(snap), count))
+                    return
+
+        threads = [threading.Thread(target=reader, daemon=True)
+                   for _ in range(2)]
+        for t in threads:
+            t.start()
+        rng = random.Random(4321)
+        for _ in range(4000):
+            key = rng.randrange(200)
+            if rng.random() < 0.5:
+                tree.insert(key, key)
+            else:
+                tree.delete(key)
+        done.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures, (
+            f"snapshot tore: len()={failures[0][0]} but {failures[0][1]} items"
+        )
+        tree.check_invariants()
