@@ -10,6 +10,7 @@
 #                  (docs/durability.md)
 #   make concurrent — just the differential concurrency suite
 #                  (docs/concurrency.md)
+#   make serve-test — just the network serving suite (docs/serving.md)
 #   make stress  — bounded, seeded reader/writer soak (default 30s;
 #                  tune with STRESS_SECONDS / STRESS_SEED)
 #   make bench   — tier-2: paper experiments + ablations at the default
@@ -18,6 +19,8 @@
 #   make bench-parallel — just the parallel-creation experiment
 #   make bench-concurrent — concurrent serving sweep
 #                  (emits BENCH_concurrent_serve.json)
+#   make bench-serve — network serving bench: N client connections
+#                  against one server (emits BENCH_serve_network.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -25,8 +28,8 @@ REPRO_BENCH_SCALE ?= 0.12
 STRESS_SECONDS ?= 30
 STRESS_SEED ?= 777
 
-.PHONY: test lint faults concurrent stress bench bench-parallel \
-	bench-concurrent
+.PHONY: test lint faults concurrent serve-test stress bench \
+	bench-parallel bench-concurrent bench-serve
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -41,11 +44,14 @@ faults:
 concurrent:
 	$(PYTHON) -m pytest tests/concurrent -q
 
+serve-test:
+	$(PYTHON) -m pytest tests/server -q
+
 stress:
 	REPRO_STRESS_SECONDS=$(STRESS_SECONDS) REPRO_STRESS_SEED=$(STRESS_SEED) \
 	$(PYTHON) -m pytest tests/concurrent -q -s
 
-test: lint faults concurrent
+test: lint faults concurrent serve-test
 	$(PYTHON) -m pytest -x -q
 
 bench:
@@ -59,3 +65,6 @@ bench-parallel:
 
 bench-concurrent:
 	$(PYTHON) -m repro.bench.concurrent
+
+bench-serve:
+	$(PYTHON) -m repro.bench.serve

@@ -142,6 +142,14 @@ def cmd_stats(args) -> int:
                     f"mean={timer['mean_s'] * 1000:.3f}ms "
                     f"max={timer['max_s'] * 1000:.3f}ms"
                 )
+        if metrics.get("histograms"):
+            print("\nruntime histograms:")
+            for name, histogram in metrics["histograms"].items():
+                print(
+                    f"  {name:>24}: n={histogram['count']:,} "
+                    f"mean={histogram['mean']:.1f} "
+                    f"max={histogram['max']:.0f}"
+                )
     return 0
 
 
@@ -211,9 +219,31 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import serve
+
+    db = _open(args.db, concurrent=True,
+               group_commit=not args.no_group_commit,
+               group_batch_max=args.group_batch_max,
+               group_batch_wait_ms=args.group_batch_wait_ms)
+    try:
+        asyncio.run(serve(
+            db, args.host, args.port,
+            max_pending_updates=args.max_pending_updates,
+            read_workers=args.read_workers,
+            write_workers=args.write_workers,
+        ))
+    except KeyboardInterrupt:
+        pass
+    print("server drained; WAL closed")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import concurrent, figure9, figure10, figure11, parallel, \
-        table1
+        serve, table1
 
     module = {
         "table1": table1,
@@ -222,6 +252,7 @@ def cmd_bench(args) -> int:
         "figure11": figure11,
         "parallel": parallel,
         "concurrent": concurrent,
+        "serve": serve,
     }[args.experiment]
     module.main()
     return 0
@@ -299,10 +330,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.set_defaults(fn=cmd_verify)
 
+    p = sub.add_parser(
+        "serve", help="serve the database over TCP (docs/serving.md)"
+    )
+    p.add_argument("db")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7307)
+    p.add_argument("--no-group-commit", action="store_true",
+                   help="disable group-commit WAL batching (on by default "
+                        "for serving)")
+    p.add_argument("--group-batch-max", type=int, default=32,
+                   help="most records per group-commit batch")
+    p.add_argument("--group-batch-wait-ms", type=float, default=0.0,
+                   help="leader linger before committing a non-full batch")
+    p.add_argument("--max-pending-updates", type=int, default=64,
+                   help="admission bound on in-flight updates "
+                        "(beyond it: busy + retry_after_ms)")
+    p.add_argument("--read-workers", type=int, default=8,
+                   help="reader thread-pool size")
+    p.add_argument("--write-workers", type=int, default=8,
+                   help="writer thread-pool size")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
                    choices=["table1", "figure9", "figure10", "figure11",
-                            "parallel", "concurrent"])
+                            "parallel", "concurrent", "serve"])
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -1,0 +1,257 @@
+"""Clients for the :mod:`repro.server` wire protocol.
+
+Two flavours over the same length-prefixed JSON frames
+(:mod:`repro.wire`):
+
+* :class:`Client` — a blocking, one-request-at-a-time client for
+  tests, scripts and thread-per-connection drivers.  Also supports
+  explicit pipelining (:meth:`Client.send` / :meth:`Client.receive`)
+  when the caller wants several requests in flight on one connection.
+* :class:`AsyncClient` — an asyncio client whose ``call`` coroutine
+  may be awaited concurrently from many tasks; requests are pipelined
+  on one connection and responses are matched by request id.  Used by
+  ``repro.bench.serve`` to drive hundreds of connections from one
+  event loop.
+
+Failures come back as :class:`ClientError` carrying the server's
+stable error code (``busy``, ``view_invalid``, ...); ``busy``
+rejections include the server's ``retry_after_ms`` hint, which
+:meth:`Client.update_text`'s optional retry loop honours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Any
+
+from . import wire
+from .errors import ReproError
+
+__all__ = ["Client", "AsyncClient", "ClientError"]
+
+
+class ClientError(ReproError):
+    """A server-reported failure (the response's error code/message)."""
+
+    def __init__(self, code: str, message: str, response: dict):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.response = response
+
+    @property
+    def retry_after_ms(self) -> float | None:
+        value = self.response.get("retry_after_ms")
+        return float(value) if value is not None else None
+
+
+def _unwrap(response: dict) -> dict:
+    if response.get("ok"):
+        return response.get("result", {})
+    raise ClientError(
+        response.get("error", "unknown"),
+        response.get("message", ""),
+        response,
+    )
+
+
+class Client:
+    """Blocking client: one socket, explicit request/response calls."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._next_id = 1
+        self._pending: dict[int, dict] = {}
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- pipelined primitives -------------------------------------------
+
+    def send(self, op: str, **params: Any) -> int:
+        """Fire one request without waiting; returns its id."""
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"id": request_id, "op": op}
+        message.update(params)
+        wire.write_frame(self._sock, message)
+        return request_id
+
+    def receive(self, request_id: int) -> dict:
+        """The response for ``request_id`` (drains out-of-order ones)."""
+        while request_id not in self._pending:
+            response = wire.read_frame(self._sock)
+            if response is None:
+                raise ClientError(
+                    "disconnected", "server closed the connection",
+                    {},
+                )
+            self._pending[response.get("id")] = response
+        return _unwrap(self._pending.pop(request_id))
+
+    def call(self, op: str, **params: Any) -> dict:
+        return self.receive(self.send(op, **params))
+
+    # -- convenience API -------------------------------------------------
+
+    def hello(self) -> dict:
+        return self.call("hello")
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def query(self, xpath: str, document: str | None = None,
+              use_indexes: bool | str = True,
+              view: int | None = None) -> list[int]:
+        params: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes}
+        if document is not None:
+            params["document"] = document
+        if view is not None:
+            params["view"] = view
+        return self.call("query", **params)["nids"]
+
+    def lookup(self, mode: str, **params: Any) -> list[int]:
+        return self.call("lookup", mode=mode, **params)["nids"]
+
+    def explain(self, xpath: str, execute: bool = False) -> dict:
+        return self.call("explain", xpath=xpath, execute=execute)
+
+    def update_text(self, nid: int, text: str,
+                    busy_retries: int = 0) -> dict:
+        """Update one text node; optionally retry ``busy`` rejections
+        after the server's ``retry_after_ms`` hint."""
+        attempts = 0
+        while True:
+            try:
+                return self.call("update", action="update_text",
+                                 nid=nid, text=text)
+            except ClientError as exc:
+                if exc.code != wire.E_BUSY or attempts >= busy_retries:
+                    raise
+                attempts += 1
+                time.sleep((exc.retry_after_ms or 25.0) / 1000.0)
+
+    def insert_xml(self, nid: int, fragment: str,
+                   before: int | None = None) -> dict:
+        params: dict[str, Any] = {"action": "insert_xml", "nid": nid,
+                                  "fragment": fragment}
+        if before is not None:
+            params["before"] = before
+        return self.call("update", **params)
+
+    def delete_subtree(self, nid: int) -> dict:
+        return self.call("update", action="delete_subtree", nid=nid)
+
+    def open_view(self) -> dict:
+        """Pin a session view; returns ``{"view": token, "epoch": E}``."""
+        return self.call("view.open")
+
+    def close_view(self, view: int) -> dict:
+        return self.call("view.close", view=view)
+
+    def metrics(self) -> dict:
+        return self.call("metrics")["metrics"]
+
+    def checkpoint(self) -> dict:
+        return self.call("checkpoint")
+
+
+class AsyncClient:
+    """Pipelined asyncio client: concurrent ``call`` awaiters share
+    one connection; responses are matched to callers by request id."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 1
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+
+    async def connect(self, host: str, port: int) -> "AsyncClient":
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_waiters(ClientError(
+            "disconnected", "connection closed", {}))
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._waiters.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(4)
+                length = wire.decode_header(header)
+                body = await self._reader.readexactly(length)
+                response = json.loads(body)
+                future = self._waiters.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_waiters(ClientError(
+                "disconnected", f"connection lost: {exc}", {}))
+
+    async def call(self, op: str, **params: Any) -> dict:
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"id": request_id, "op": op}
+        message.update(params)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        self._writer.write(wire.encode_frame(message))
+        await self._writer.drain()
+        return _unwrap(await future)
+
+    async def query(self, xpath: str, view: int | None = None,
+                    use_indexes: bool | str = True) -> list[int]:
+        params: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes}
+        if view is not None:
+            params["view"] = view
+        return (await self.call("query", **params))["nids"]
+
+    async def update_text(self, nid: int, text: str,
+                          busy_retries: int = 0) -> dict:
+        attempts = 0
+        while True:
+            try:
+                return await self.call("update", action="update_text",
+                                       nid=nid, text=text)
+            except ClientError as exc:
+                if exc.code != wire.E_BUSY or attempts >= busy_retries:
+                    raise
+                attempts += 1
+                await asyncio.sleep((exc.retry_after_ms or 25.0) / 1000.0)
+
+    async def metrics(self) -> dict:
+        return (await self.call("metrics"))["metrics"]

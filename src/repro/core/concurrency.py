@@ -44,6 +44,7 @@ __all__ = [
     "ManagerSnapshot",
     "ReadView",
     "ReadWriteLatch",
+    "SessionPin",
     "active_view",
 ]
 
@@ -165,39 +166,72 @@ class ReadView:
     text reads (via the MVCC overlay) resolve at this view's epoch.
     Statistics are computed from the pinned trees and memoized, so a
     plan priced inside the view can never mix epochs.
+
+    ``at`` pins a specific (already captured) snapshot instead of the
+    currently published one — the serving layer uses this to run each
+    network request of a pinned session at the session's epoch.
+
+    Entering is exception-safe: if anything after the shared-latch
+    acquire fails, the latch, the pin and the thread-local are all
+    rolled back before the exception propagates (a leaked shared hold
+    would wedge every future structural writer).  Exiting forwards the
+    real exception triple to the MVCC reading scope.
     """
 
-    def __init__(self, controller: "ConcurrencyController"):
+    def __init__(self, controller: "ConcurrencyController",
+                 at: "ManagerSnapshot | None" = None):
         self._controller = controller
+        self._at = at
         self.snapshot: ManagerSnapshot | None = None
         self.epoch: int | None = None
         self._stats: dict[str, Any] = {}
         self._reading = None
+        self._previous_view: "ReadView | None" = None
         self._depth = 0
 
     def __enter__(self) -> "ReadView":
         if self._depth == 0:
             controller = self._controller
             controller.latch.acquire_shared()
-            # Atomic capture + pin: a publish/prune cannot slip between
-            # reading the snapshot and registering against it.
-            self.snapshot = controller.pin(self)
-            self.epoch = self.snapshot.epoch
-            self._previous_view = active_view()
-            _tls.view = self
-            self._reading = reading_at(self.epoch)
-            self._reading.__enter__()
+            try:
+                # Atomic capture + pin: a publish/prune cannot slip
+                # between reading the snapshot and registering
+                # against it.
+                self.snapshot = controller.pin(self, self._at)
+                self.epoch = self.snapshot.epoch
+                self._previous_view = active_view()
+                reading = reading_at(self.epoch)
+                reading.__enter__()
+                self._reading = reading
+                _tls.view = self
+            except BaseException:
+                self.snapshot = None
+                self.epoch = None
+                self._previous_view = None
+                controller.release_pin(self)
+                controller.latch.release_shared()
+                raise
         self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
         self._depth -= 1
-        if self._depth == 0:
-            self._reading.__exit__(None, None, None)
+        if self._depth:
+            return
+        if not exc:
+            exc = (None, None, None)
+        try:
+            reading = self._reading
             self._reading = None
+            if reading is not None:
+                reading.__exit__(*exc)
+        finally:
             _tls.view = self._previous_view
-            self._controller.release_pin(self)
-            self._controller.latch.release_shared()
+            self._previous_view = None
+            try:
+                self._controller.release_pin(self)
+            finally:
+                self._controller.latch.release_shared()
 
     def tree_for(self, index: Any) -> "TreeSnapshot | None":
         """The pinned tree snapshot backing ``index``, if captured."""
@@ -210,6 +244,30 @@ class ReadView:
             cached = self._controller.view_statistics(self, kind)
             self._stats[kind] = cached
         return cached
+
+
+class SessionPin:
+    """A long-lived epoch pin that does *not* hold the latch.
+
+    Network sessions pin a snapshot across many requests; holding the
+    shared latch for a connection's lifetime would block structural
+    writers and checkpoints indefinitely, so a session pin only
+    registers in the controller's pin table (keeping the MVCC overlay
+    versions for its epoch alive — the pinned trees are immutable
+    copy-on-write snapshots and need no protection).  The trade-off:
+    structural operations are *not* excluded and splice the shared
+    document arrays in place, invalidating the pinned view; the
+    serving layer checks :meth:`ConcurrencyController.pin_valid`
+    inside each request's latched scope and reports
+    ``view invalidated`` to the client instead of serving torn data.
+    """
+
+    __slots__ = ("snapshot", "epoch", "structural_epoch")
+
+    def __init__(self, snapshot: ManagerSnapshot, structural_epoch: int):
+        self.snapshot = snapshot
+        self.epoch = snapshot.epoch
+        self.structural_epoch = structural_epoch
 
 
 class ConcurrencyController:
@@ -231,7 +289,11 @@ class ConcurrencyController:
         #: with respect to each other, so pruning can never compute an
         #: oldest-pin that misses a reader mid-registration.
         self._state_lock = threading.Lock()
-        self._pins: dict[int, int] = {}  # id(view) -> pinned epoch
+        self._pins: dict[int, int] = {}  # id(view/pin) -> pinned epoch
+        #: Bumped by every structural exclusive operation (not by
+        #: checkpoints, which drain readers but change no state);
+        #: session pins capture it to detect invalidation.
+        self.structural_epoch = 0
         self._published = self._capture()
         self._attach_overlays()
 
@@ -269,21 +331,50 @@ class ConcurrencyController:
     def read_view(self) -> ReadView:
         return ReadView(self)
 
-    def pin(self, view: ReadView) -> ManagerSnapshot:
+    def read_view_at(self, pin: SessionPin) -> ReadView:
+        """A per-request view resolving at ``pin``'s session snapshot."""
+        return ReadView(self, at=pin.snapshot)
+
+    def pin(self, view: ReadView,
+            at: ManagerSnapshot | None = None) -> ManagerSnapshot:
         """Atomically capture the published snapshot and pin it.
 
         Snapshot read and pin registration happen under one lock, so a
         concurrent publish+prune either sees this view's pin or hands
         it the new snapshot — never an unpinned stale epoch whose
-        overlay entries pruning could reclaim.
+        overlay entries pruning could reclaim.  ``at`` pins that
+        snapshot instead of the published one (its epoch is already
+        protected by the session pin that owns it).
         """
         with self._state_lock:
-            snapshot = self._published
+            snapshot = self._published if at is None else at
             self._pins[id(view)] = snapshot.epoch
         self.manager.metrics.counter("concurrency.epoch_pins").inc()
         return snapshot
 
-    def release_pin(self, view: ReadView) -> None:
+    def open_pin(self) -> SessionPin:
+        """Register a long-lived session pin at the published snapshot
+        (see :class:`SessionPin`; released with :meth:`close_pin`)."""
+        with self._state_lock:
+            snapshot = self._published
+            pin = SessionPin(snapshot, self.structural_epoch)
+            self._pins[id(pin)] = snapshot.epoch
+        self.manager.metrics.counter("concurrency.session_pins").inc()
+        return pin
+
+    def close_pin(self, pin: SessionPin) -> None:
+        self.release_pin(pin)
+
+    def pin_valid(self, pin: SessionPin) -> bool:
+        """False once a structural operation has invalidated ``pin``.
+
+        Only meaningful while the caller holds the latch shared (a
+        structural writer could otherwise invalidate it between the
+        check and the reads it guards).
+        """
+        return pin.structural_epoch == self.structural_epoch
+
+    def release_pin(self, view: object) -> None:
         with self._state_lock:
             self._pins.pop(id(view), None)
             empty = not self._pins
@@ -358,18 +449,23 @@ class ConcurrencyController:
                 self.publish()
 
     @contextmanager
-    def exclusive(self) -> Iterator[None]:
+    def exclusive(self, structural: bool = True) -> Iterator[None]:
         """Scope for a structural change: writer lock + exclusive latch.
 
         Drains all read views first; since no reader can be pinned
         while we hold the latch, overlays are cleared wholesale and
-        the new snapshot is published on exit.
+        the new snapshot is published on exit.  ``structural=False``
+        marks drain-only exclusive scopes (checkpoints) that change no
+        indexed state and therefore must not invalidate session pins.
         """
         self.check_write_allowed()
         with self.write_lock:
             with self.latch.exclusive():
                 self.manager.metrics.counter("concurrency.exclusive_ops").inc()
                 yield
+                if structural:
+                    with self._state_lock:
+                        self.structural_epoch += 1
                 self.publish()
 
     # -- view statistics -------------------------------------------------

@@ -234,6 +234,12 @@ class Database:
                 self._checkpoint_every
                 and self._pending >= self._checkpoint_every
             )
+            if due:
+                # Arm the trigger once: reset while still holding the
+                # lock, so a second writer crossing the threshold
+                # concurrently cannot also see due=True and run a
+                # back-to-back stop-the-world checkpoint.
+                self._pending = 0
         if due:
             self.checkpoint()
 
@@ -415,7 +421,12 @@ class Database:
         unwritten update.
         """
         controller = self.manager.concurrency
-        scope = nullcontext() if controller is None else controller.exclusive()
+        scope = (
+            nullcontext() if controller is None
+            # A checkpoint drains readers but changes no indexed
+            # state, so it must not invalidate session pins.
+            else controller.exclusive(structural=False)
+        )
         with scope:
             if self._group is not None:
                 self._group.drain()
@@ -428,11 +439,20 @@ class Database:
                 self._pending = 0
 
     def close(self, checkpoint: bool = True) -> None:
-        if checkpoint:
-            self.checkpoint()
-        elif self._group is not None and not self._group.poisoned:
-            self._group.drain()
-        self._wal.close()
+        """Flush (optionally checkpoint) and release the WAL handle.
+
+        The handle is released even when the checkpoint or the group
+        drain raises (e.g. a poisoned :class:`GroupCommitLog`
+        re-raising its injected crash): a server restarting after a
+        poison must not hold the old file open.
+        """
+        try:
+            if checkpoint:
+                self.checkpoint()
+            elif self._group is not None and not self._group.poisoned:
+                self._group.drain()
+        finally:
+            self._wal.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -8,6 +8,6 @@ exposes a structured snapshot, and the CLI ``stats`` subcommand prints
 it.
 """
 
-from .metrics import Counter, MetricsRegistry, TimerHistogram
+from .metrics import Counter, MetricsRegistry, TimerHistogram, ValueHistogram
 
-__all__ = ["Counter", "MetricsRegistry", "TimerHistogram"]
+__all__ = ["Counter", "MetricsRegistry", "TimerHistogram", "ValueHistogram"]

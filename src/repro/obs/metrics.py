@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["Counter", "TimerHistogram", "MetricsRegistry"]
+__all__ = ["Counter", "TimerHistogram", "ValueHistogram", "MetricsRegistry"]
 
 
 class Counter:
@@ -115,8 +115,63 @@ class TimerHistogram:
         }
 
 
+class ValueHistogram:
+    """Distribution of plain numeric observations (not durations).
+
+    Same power-of-two bucketing as :class:`TimerHistogram`, but over
+    the raw value: bucket ``i`` counts observations whose integer part
+    has bit length ``i`` (``[2**(i-1), 2**i)``), bucket 0 holds values
+    below 1, and the last bucket is open-ended.  Used for size-shaped
+    metrics such as group-commit batch occupancy
+    (``wal.group.batch_size``).
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.buckets = [0] * _BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        whole = int(value)
+        index = whole.bit_length() if whole > 0 else 0
+        if index >= _BUCKETS:
+            index = _BUCKETS - 1
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Structured summary; bucket labels are exclusive upper bounds."""
+        filled = {
+            f"<{2 ** i}": count
+            for i, count in enumerate(self.buckets)
+            if count
+        }
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": 0.0 if self.count == 0 else self.minimum,
+            "max": self.maximum,
+            "buckets": filled,
+        }
+
+
 class MetricsRegistry:
-    """A named collection of counters and timers.
+    """A named collection of counters, timers and value histograms.
 
     Creation is locked (first use of a name races between threads);
     the record paths on the returned objects are lock-free.
@@ -126,6 +181,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, TimerHistogram] = {}
+        self._histograms: dict[str, ValueHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -141,6 +197,15 @@ class MetricsRegistry:
                 timer = self._timers.setdefault(name, TimerHistogram(name))
         return timer
 
+    def histogram(self, name: str) -> ValueHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, ValueHistogram(name)
+                )
+        return histogram
+
     def snapshot(self) -> dict:
         """All metrics as plain dicts (JSON/CLI friendly)."""
         return {
@@ -152,6 +217,10 @@ class MetricsRegistry:
                 name: timer.snapshot()
                 for name, timer in sorted(self._timers.items())
             },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
         }
 
     def reset(self) -> None:
@@ -161,3 +230,5 @@ class MetricsRegistry:
                 counter.value = 0
             for name in list(self._timers):
                 self._timers[name] = TimerHistogram(name)
+            for name in list(self._histograms):
+                self._histograms[name] = ValueHistogram(name)

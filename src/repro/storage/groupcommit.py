@@ -44,7 +44,8 @@ class GroupCommitLog:
             immediately; small values trade latency for batch
             occupancy).
         metrics: Optional registry; counts batches/records (mean
-            occupancy = records/batches) and per-batch sizes.
+            occupancy = records/batches) and records per-batch sizes
+            in the ``wal.group.batch_size`` histogram.
     """
 
     def __init__(
@@ -156,11 +157,19 @@ class GroupCommitLog:
                 raise
             with self._cond:
                 self._durable_seq = batch[-1][0]
+                # Metrics update inside the notify-time critical
+                # section: the counters/histogram advance atomically
+                # with the durable sequence, so an observer can never
+                # see a batch acknowledged but uncounted (or counted
+                # after a later poison made the numbers misleading).
+                if self._metrics is not None:
+                    self._metrics.counter("wal.group.batches").inc()
+                    self._metrics.counter("wal.group.records").inc(len(batch))
+                    self._metrics.histogram("wal.group.batch_size").observe(
+                        len(batch)
+                    )
+                    if len(batch) == self._batch_max:
+                        self._metrics.counter("wal.group.full_batches").inc()
                 self._cond.notify_all()
-            if self._metrics is not None:
-                self._metrics.counter("wal.group.batches").inc()
-                self._metrics.counter("wal.group.records").inc(len(batch))
-                if len(batch) == self._batch_max:
-                    self._metrics.counter("wal.group.full_batches").inc()
             if self._durable_seq >= seq:
                 return

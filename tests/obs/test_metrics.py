@@ -1,6 +1,6 @@
 """Tests for the zero-dependency metrics layer."""
 
-from repro.obs import Counter, MetricsRegistry, TimerHistogram
+from repro.obs import Counter, MetricsRegistry, TimerHistogram, ValueHistogram
 
 
 class TestCounter:
@@ -48,6 +48,35 @@ class TestTimerHistogram:
         assert snap["buckets"] == {"<4us": 1}
 
 
+class TestValueHistogram:
+    def test_observe_tracks_aggregates(self):
+        histogram = ValueHistogram("sizes")
+        histogram.observe(1)
+        histogram.observe(3)
+        assert histogram.count == 2
+        assert histogram.total == 4
+        assert histogram.minimum == 1
+        assert histogram.maximum == 3
+        assert histogram.mean == 2
+
+    def test_power_of_two_buckets_over_raw_values(self):
+        histogram = ValueHistogram("sizes")
+        histogram.observe(0)    # bucket 0 (< 1)
+        histogram.observe(3)    # bucket 2 (< 4)
+        histogram.observe(2**40)  # beyond range -> last bucket
+        assert histogram.buckets[0] == 1
+        assert histogram.buckets[2] == 1
+        assert histogram.buckets[-1] == 1
+
+    def test_snapshot_shape(self):
+        histogram = ValueHistogram("sizes")
+        assert histogram.snapshot()["min"] == 0.0  # empty: no inf leaks
+        histogram.observe(3)
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"] == {"<4": 1}
+
+
 class TestMetricsRegistry:
     def test_counter_identity_by_name(self):
         registry = MetricsRegistry()
@@ -70,8 +99,19 @@ class TestMetricsRegistry:
         counter = registry.counter("c")
         counter.inc(9)
         registry.timer("t").observe(0.1)
+        registry.histogram("h").observe(5)
         registry.reset()
         assert counter.value == 0
         assert registry.timer("t").count == 0
+        assert registry.histogram("h").count == 0
         # Same objects for counters (callers may hold references).
         assert registry.counter("c") is counter
+
+    def test_histograms_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("wal.group.batch_size").observe(8)
+        snap = registry.snapshot()
+        assert snap["histograms"]["wal.group.batch_size"]["count"] == 1
+        import json
+
+        json.dumps(snap)

@@ -1,0 +1,101 @@
+"""Differential test: network answers equal naive in-process answers.
+
+Reader threads (each its own connection) repeatedly pin a session
+view and run every query twice at that view — once through the
+planner/indices (``use_indexes=True``) and once forced down the
+full-scan path (``use_indexes=False``), which the executor routes to
+:func:`repro.query.evaluate_naive`.  Both run at the *same pinned
+epoch*, so any divergence is a real snapshot-isolation or index bug,
+not scheduling noise.  Writer threads stream text updates over their
+own connections the whole time.
+"""
+
+import threading
+
+from repro.client import Client
+
+from ..concurrent.harness import AGES, classified_text_nids
+from .conftest import Served
+
+READERS = 3
+WRITERS = 2
+ROUNDS = 25
+
+_QUERIES = [
+    "//p[.//age = 7]",
+    '//p[.//name = "n3"]',
+    "//p[.//age >= 12]",
+]
+
+
+def test_network_results_match_naive_at_pinned_epoch(tmp_path):
+    box = Served(tmp_path, server_kwargs={"max_pending_updates": 64})
+    failures: list[str] = []
+    checks = 0
+    checks_lock = threading.Lock()
+    stop = threading.Event()
+
+    def reader(slot: int) -> None:
+        nonlocal checks
+        with Client(box.host, box.port) as client:
+            for round_no in range(ROUNDS):
+                view = client.open_view()["view"]
+                try:
+                    for text in _QUERIES:
+                        indexed = client.query(text, view=view,
+                                               use_indexes=True)
+                        naive = client.query(text, view=view,
+                                             use_indexes=False)
+                        if indexed != naive:
+                            failures.append(
+                                f"reader {slot} round {round_no} "
+                                f"{text!r}: indexed={indexed} "
+                                f"naive={naive}"
+                            )
+                            return
+                        with checks_lock:
+                            checks += 1
+                finally:
+                    client.close_view(view)
+
+    def writer(slot: int) -> None:
+        ages, names = classified_text_nids(box.doc)
+        nids = ages if slot % 2 == 0 else names
+        with Client(box.host, box.port) as client:
+            k = 0
+            while not stop.is_set():
+                nid = nids[(slot + k) % len(nids)]
+                value = str(k % AGES) if slot % 2 == 0 else f"n{k % 12}"
+                client.update_text(nid, value, busy_retries=50)
+                k += 1
+
+    try:
+        reader_threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(READERS)
+        ]
+        writer_threads = [
+            threading.Thread(target=writer, args=(slot,))
+            for slot in range(WRITERS)
+        ]
+        for t in writer_threads + reader_threads:
+            t.start()
+        for t in reader_threads:
+            t.join(timeout=300)
+        stop.set()
+        for t in writer_threads:
+            t.join(timeout=300)
+    finally:
+        stop.set()
+        box.stop()
+
+    assert not failures, failures[0]
+    assert checks == READERS * ROUNDS * len(_QUERIES)
+    # The database survives the workload with indices intact.
+    from repro.database import Database
+
+    db = Database(str(tmp_path / "db"), typed=("double",))
+    try:
+        assert db.verify().ok
+    finally:
+        db.close()

@@ -1,0 +1,165 @@
+"""Drain and crash-recovery round-trips through the server.
+
+The serving contract under test: **every update acknowledged over the
+wire is durable** — across a graceful drain (SIGTERM path) and across
+a simulated power cut inside the group-commit leader — and a failed
+or unacknowledged update never silently half-applies.
+"""
+
+import pytest
+
+from repro.client import Client, ClientError
+from repro.database import Database
+from repro.storage import faults
+
+from ..concurrent.harness import classified_text_nids
+from .conftest import Served
+
+
+def _reopen(tmp_path) -> Database:
+    return Database(str(tmp_path / "db"), typed=("double",))
+
+
+def _text_of(db: Database, nid: int) -> str:
+    doc = db.store.documents["people"]
+    return doc.text_of(doc.pre_of(nid))
+
+
+class TestGracefulDrain:
+    def test_acked_updates_survive_drain_and_reopen(self, tmp_path):
+        box = Served(tmp_path, db_kwargs={"group_commit": True,
+                                          "sync": "fsync"})
+        acked: dict[int, str] = {}
+        try:
+            ages, _ = classified_text_nids(box.doc)
+            with Client(box.host, box.port) as client:
+                for i, nid in enumerate(ages[:8]):
+                    value = str(60 + i)  # outside the fixture's range
+                    client.update_text(nid, value)
+                    acked[nid] = value
+        finally:
+            box.stop()
+
+        assert box.server.close_error is None
+        assert box.server._state == "closed"
+        assert box.db._wal._fh.closed
+
+        db = _reopen(tmp_path)
+        try:
+            assert db.recovery.clean, "graceful drain must checkpoint"
+            assert db.recovered_records == 0
+            for nid, value in acked.items():
+                assert _text_of(db, nid) == value
+                assert len(db.query(f"//p[.//age = {value}]")) == 1
+            assert db.verify().ok
+        finally:
+            db.close()
+
+    def test_drain_disconnects_clients(self, tmp_path):
+        box = Served(tmp_path)
+        client = Client(box.host, box.port)
+        try:
+            client.ping()
+            box.stop()
+            with pytest.raises(ClientError) as err:
+                client.ping()
+            assert err.value.code == "disconnected"
+        finally:
+            client.close()
+            box.stop()
+
+    def test_stop_is_idempotent(self, tmp_path):
+        box = Served(tmp_path)
+        box.stop()
+        box.stop()
+        assert box.server._state == "closed"
+
+
+class TestKillMidCommit:
+    def test_crash_in_group_commit_leader_through_server(self, tmp_path):
+        """Simulated power cut in the WAL append path, via the wire.
+
+        Acked updates stay durable; the crashed update is *reported*
+        as a failure (never a false ack) and is absent after replay;
+        the drain records the poison on ``close_error`` but still
+        releases the WAL handle; the reopened database replays exactly
+        the acknowledged prefix and verifies clean.
+        """
+        box = Served(tmp_path, db_kwargs={"group_commit": True,
+                                          "sync": "fsync"})
+        acked: dict[int, str] = {}
+        try:
+            ages, _ = classified_text_nids(box.doc)
+            with Client(box.host, box.port) as client:
+                for i, nid in enumerate(ages[:5]):
+                    value = str(70 + i)
+                    client.update_text(nid, value)
+                    acked[nid] = value
+
+                # Power cut inside the next leader write.
+                plan = faults.CrashPlan("wal.append", occurrence=1)
+                with faults.injected(faults.FaultInjector(crash=plan)):
+                    with pytest.raises(ClientError) as err:
+                        client.update_text(ages[5], "99")
+                    assert err.value.code == "internal"
+                    assert "InjectedCrash" in err.value.message
+
+                # The log is poisoned: later updates fail loudly too,
+                # but the connection and reads keep working.
+                with pytest.raises(ClientError):
+                    client.update_text(ages[6], "98")
+                assert client.query("//p[.//age = 70]")
+        finally:
+            box.stop()
+
+        # Drain hit the poisoned close: recorded, WAL still released.
+        assert box.server.close_error is not None
+        assert isinstance(box.server.close_error, faults.InjectedCrash)
+        assert box.db._wal._fh.closed
+
+        db = _reopen(tmp_path)
+        try:
+            for nid, value in acked.items():
+                assert _text_of(db, nid) == value, (
+                    "acknowledged commit lost across crash recovery"
+                )
+            # The crashed and post-poison updates were never acked and
+            # never became durable.
+            assert db.query("//p[.//age = 99]") == []
+            assert db.query("//p[.//age = 98]") == []
+            assert db.verify().ok
+        finally:
+            db.close()
+
+    def test_acked_prefix_under_crash_at_later_batch(self, tmp_path):
+        """Crash at the Nth append: exactly the acked prefix replays."""
+        box = Served(tmp_path, db_kwargs={"group_commit": True,
+                                          "sync": "fsync"})
+        acked: dict[int, str] = {}
+        try:
+            ages, _ = classified_text_nids(box.doc)
+            plan = faults.CrashPlan("wal.append", occurrence=4)
+            with faults.injected(faults.FaultInjector(crash=plan)):
+                with Client(box.host, box.port) as client:
+                    failed = False
+                    for i, nid in enumerate(ages[:6]):
+                        value = str(80 + i)
+                        try:
+                            client.update_text(nid, value)
+                        except ClientError:
+                            failed = True
+                            break
+                        acked[nid] = value
+                    assert failed, "crash plan never fired"
+                    assert len(acked) == 3
+        finally:
+            box.stop()
+
+        db = _reopen(tmp_path)
+        try:
+            for nid, value in acked.items():
+                assert _text_of(db, nid) == value
+            assert db.query("//p[.//age = 83]") == []
+            assert db.verify().ok
+        finally:
+            db.close()

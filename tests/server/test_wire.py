@@ -1,0 +1,129 @@
+"""Framing-layer tests: length-prefixed JSON frames."""
+
+import socket
+import struct
+
+import pytest
+
+from repro import wire
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestEncodeDecode:
+    def test_roundtrip_over_socketpair(self):
+        left, right = _pair()
+        try:
+            message = {"id": 7, "op": "query", "xpath": "//p", "nested": [1, 2]}
+            wire.write_frame(left, message)
+            assert wire.read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_preserve_order(self):
+        left, right = _pair()
+        try:
+            for i in range(10):
+                wire.write_frame(left, {"id": i})
+            for i in range(10):
+                assert wire.read_frame(right) == {"id": i}
+        finally:
+            left.close()
+            right.close()
+
+    def test_header_is_big_endian_u32(self):
+        frame = wire.encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_unicode_payload(self):
+        left, right = _pair()
+        try:
+            message = {"id": 1, "text": "héllo ☃"}
+            wire.write_frame(left, message)
+            assert wire.read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+
+class TestLimits:
+    def test_oversized_body_refused_on_encode(self):
+        huge = {"blob": "x" * (wire.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.encode_frame(huge)
+
+    def test_oversized_header_refused_on_decode(self):
+        header = struct.pack(">I", wire.MAX_FRAME_BYTES + 1)
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.decode_header(header)
+
+
+class TestDegenerateStreams:
+    def test_clean_eof_returns_none(self):
+        left, right = _pair()
+        left.close()
+        try:
+            assert wire.read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_header_returns_none(self):
+        left, right = _pair()
+        try:
+            left.sendall(b"\x00\x00")  # half a header, then EOF
+            left.close()
+            assert wire.read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_torn_frame_raises(self):
+        left, right = _pair()
+        try:
+            frame = wire.encode_frame({"id": 1, "op": "ping"})
+            left.sendall(frame[:-3])  # header + truncated body
+            left.close()
+            with pytest.raises(wire.WireError, match="mid-frame"):
+                wire.read_frame(right)
+        finally:
+            right.close()
+
+    def test_invalid_json_raises(self):
+        left, right = _pair()
+        try:
+            body = b"{nope"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(wire.WireError, match="JSON"):
+                wire.read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_body_raises(self):
+        left, right = _pair()
+        try:
+            body = b"[1,2,3]"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(wire.WireError, match="object"):
+                wire.read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestResponseShapes:
+    def test_ok_response(self):
+        assert wire.ok_response(4, {"nids": []}) == {
+            "id": 4, "ok": True, "result": {"nids": []},
+        }
+
+    def test_error_response_with_extra(self):
+        response = wire.error_response(
+            9, wire.E_BUSY, "full", retry_after_ms=25.0
+        )
+        assert response["ok"] is False
+        assert response["error"] == "busy"
+        assert response["retry_after_ms"] == 25.0
