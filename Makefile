@@ -21,6 +21,8 @@
 #                  (emits BENCH_concurrent_serve.json)
 #   make bench-serve — network serving bench: N client connections
 #                  against one server (emits BENCH_serve_network.json)
+#   make bench-vectorized — batch vs scalar executor query sweep
+#                  (emits BENCH_vectorized_exec.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -29,7 +31,7 @@ STRESS_SECONDS ?= 30
 STRESS_SEED ?= 777
 
 .PHONY: test lint faults concurrent serve-test stress bench \
-	bench-parallel bench-concurrent bench-serve
+	bench-parallel bench-concurrent bench-serve bench-vectorized
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -54,7 +56,7 @@ stress:
 test: lint faults concurrent serve-test
 	$(PYTHON) -m pytest -x -q
 
-bench:
+bench: bench-vectorized
 	REPRO_BENCH_SCALE=$(REPRO_BENCH_SCALE) \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -68,3 +70,6 @@ bench-concurrent:
 
 bench-serve:
 	$(PYTHON) -m repro.bench.serve
+
+bench-vectorized:
+	$(PYTHON) -m repro.bench.vectorized

@@ -1,0 +1,197 @@
+"""Batch executor speedup: vectorized vs. scalar query execution.
+
+Runs every workload query set (the Figure 9/10 corpora) against the
+same loaded database twice — once with the vectorized batch executor,
+once with the scalar per-node executor — asserts bit-identical
+results, and reports per-query best-of-N latencies with their speedup.
+Emits ``BENCH_vectorized_exec.json`` (consumed by CI and
+EXPERIMENTS.md); the headline number is the median speedup across all
+(dataset, query) pairs.
+
+Scale note: batch execution pays a fixed numpy overhead per operator,
+so its advantage grows with document size (scalar cost is linear in
+the candidate count; batch cost is mostly sublinear).  The default
+scale (``REPRO_BENCH_SCALE_VECTORIZED``, falling back to 12x the
+generator unit) yields documents of a few hundred thousand to a
+couple million nodes — still far below the paper's corpora, which is
+the *conservative* direction for the reported speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..core.manager import IndexManager
+from ..query.planner import query
+from ..workloads import DATASETS, QUERY_SETS
+from .harness import render_table
+
+__all__ = ["QueryTiming", "DatasetResult", "run", "write_json",
+           "format_report", "main"]
+
+#: Datasets of the sweep (one XMark size representative; the larger
+#: XMark generators only multiply runtime, not query shapes).
+BENCH_DATASETS = ("XMark1", "DBLP", "PSD", "Wiki", "EPAGeo")
+
+#: Default output path (cwd, like the printed reports).
+JSON_PATH = "BENCH_vectorized_exec.json"
+
+#: Default generator scale; override with REPRO_BENCH_SCALE_VECTORIZED.
+DEFAULT_SCALE = 12.0
+
+
+@dataclass
+class QueryTiming:
+    """Timings of one query under both executors."""
+
+    name: str
+    text: str
+    rows: int
+    vectorized_seconds: float
+    scalar_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / self.vectorized_seconds
+
+
+@dataclass
+class DatasetResult:
+    """All query timings for one dataset."""
+
+    name: str
+    nodes: int
+    timings: list[QueryTiming] = field(default_factory=list)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_dataset(
+    name: str, scale: float, repeats: int = 5
+) -> DatasetResult:
+    """Load one dataset and time its query set under both executors."""
+    spec = DATASETS[name]
+    manager = IndexManager(string=True, typed=("double",), substring=True)
+    manager.load(name, spec.build(scale))
+    doc = manager.store.document(name)
+    result = DatasetResult(name=name, nodes=len(doc))
+    for query_name, text in QUERY_SETS[name]:
+        vectorized = query(manager, text, vectorized=True)
+        scalar = query(manager, text, vectorized=False)
+        if vectorized != scalar:  # pragma: no cover - equivalence bug
+            raise AssertionError(
+                f"{name}/{query_name}: executors disagree "
+                f"({len(vectorized)} vs {len(scalar)} rows)"
+            )
+        result.timings.append(
+            QueryTiming(
+                name=query_name,
+                text=text,
+                rows=len(vectorized),
+                vectorized_seconds=_best_of(
+                    lambda: query(manager, text, vectorized=True), repeats
+                ),
+                scalar_seconds=_best_of(
+                    lambda: query(manager, text, vectorized=False), repeats
+                ),
+            )
+        )
+    return result
+
+
+def run(
+    scale: float | None = None, repeats: int = 5
+) -> list[DatasetResult]:
+    if scale is None:
+        scale = float(
+            os.environ.get("REPRO_BENCH_SCALE_VECTORIZED", DEFAULT_SCALE)
+        )
+    return [bench_dataset(name, scale, repeats) for name in BENCH_DATASETS]
+
+
+def median_speedup(results: list[DatasetResult]) -> float:
+    return statistics.median(
+        timing.speedup for result in results for timing in result.timings
+    )
+
+
+def format_report(results: list[DatasetResult]) -> str:
+    rows = []
+    for result in results:
+        for timing in result.timings:
+            rows.append(
+                (
+                    result.name,
+                    timing.name,
+                    timing.rows,
+                    f"{timing.vectorized_seconds * 1e3:.2f}",
+                    f"{timing.scalar_seconds * 1e3:.2f}",
+                    f"{timing.speedup:.1f}x",
+                )
+            )
+    return render_table(
+        ("dataset", "query", "rows", "vectorized ms", "scalar ms",
+         "speedup"),
+        rows,
+    )
+
+
+def write_json(
+    results: list[DatasetResult], path: str = JSON_PATH
+) -> dict:
+    payload = {
+        "benchmark": "vectorized_exec",
+        "datasets": [
+            {
+                "name": result.name,
+                "nodes": result.nodes,
+                "queries": [
+                    {
+                        "name": timing.name,
+                        "query": timing.text,
+                        "rows": timing.rows,
+                        "vectorized_seconds": timing.vectorized_seconds,
+                        "scalar_seconds": timing.scalar_seconds,
+                        "speedup": timing.speedup,
+                    }
+                    for timing in result.timings
+                ],
+            }
+            for result in results
+        ],
+        "aggregate": {
+            "median_speedup": median_speedup(results),
+            "query_count": sum(len(r.timings) for r in results),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return payload
+
+
+def main() -> None:
+    results = run()
+    print("Vectorized batch executor vs. scalar executor "
+          "(best-of-5 per query)")
+    print(format_report(results))
+    payload = write_json(results)
+    print(
+        f"median speedup over {payload['aggregate']['query_count']} "
+        f"queries: {payload['aggregate']['median_speedup']:.2f}x"
+    )
+    print(f"wrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

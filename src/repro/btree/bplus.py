@@ -147,6 +147,65 @@ def _iter_range(
             yield key, node.values[i]
 
 
+def _collect_range_keys(
+    root: _Leaf | _Inner,
+    low: Any,
+    high: Any,
+    include_low: bool,
+    include_high: bool,
+) -> list[Any]:
+    """Keys with ``low <= key <= high`` as one list, built from
+    C-level leaf slices instead of a per-entry generator chain.
+
+    This is the batch executor's index-scan primitive: for wide range
+    predicates the per-entry frame switches of :func:`_iter_range`
+    dominate the whole lookup, while slicing each leaf's sorted key
+    list costs one ``bisect`` per boundary leaf and one ``extend`` per
+    leaf in between.
+    """
+    out: list[Any] = []
+    stack: list[Any] = []
+    if low is None:
+        leaf: Any = root
+        while isinstance(leaf, _Inner):
+            stack.extend(reversed(leaf.children[1:]))
+            leaf = leaf.children[0]
+        idx = 0
+    else:
+        node = root
+        while isinstance(node, _Inner):
+            child = bisect.bisect_right(node.keys, low)
+            stack.extend(reversed(node.children[child + 1 :]))
+            node = node.children[child]
+        leaf = node
+        if include_low:
+            idx = bisect.bisect_left(leaf.keys, low)
+        else:
+            idx = bisect.bisect_right(leaf.keys, low)
+    while True:
+        keys = leaf.keys
+        if high is None:
+            stop = len(keys)
+        elif include_high:
+            stop = bisect.bisect_right(keys, high, idx)
+        else:
+            stop = bisect.bisect_left(keys, high, idx)
+        out.extend(keys[idx:] if stop == len(keys) else keys[idx:stop])
+        if stop < len(keys):
+            return out
+        idx = 0
+        leaf = None
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                stack.extend(reversed(node.children))
+                continue
+            leaf = node
+            break
+        if leaf is None:
+            return out
+
+
 class TreeSnapshot:
     """An immutable point-in-time view of a :class:`BPlusTree`.
 
@@ -197,6 +256,19 @@ class TreeSnapshot:
         include_high: bool = True,
     ) -> Iterator[tuple[Any, Any]]:
         return _iter_range(self._root, low, high, include_low, include_high)
+
+    def range_keys(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Any]:
+        """Batched :meth:`range` over keys only (leaf-slice collection;
+        see :func:`_collect_range_keys`)."""
+        return _collect_range_keys(
+            self._root, low, high, include_low, include_high
+        )
 
 
 class BPlusTree:
@@ -441,6 +513,20 @@ class BPlusTree:
         mutations never disturb it.
         """
         return _iter_range(self._root, low, high, include_low, include_high)
+
+    def range_keys(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Any]:
+        """Batched :meth:`range` over keys only (leaf-slice collection
+        against the root captured at call time; see
+        :func:`_collect_range_keys`)."""
+        return _collect_range_keys(
+            self._root, low, high, include_low, include_high
+        )
 
     # ------------------------------------------------------------------
     # Bulk loading

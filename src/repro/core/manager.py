@@ -20,6 +20,7 @@ import re
 from ..errors import IndexError_
 from ..obs import MetricsRegistry
 from ..xmldb.document import ATTR, TEXT, Document
+from ..xmldb.mvcc import read_epoch
 from ..xmldb.store import Store, StructuralChange
 from .builder import ValueIndex, compute_fields
 from .concurrency import ConcurrencyController, ReadView, active_view
@@ -84,6 +85,13 @@ class IndexManager:
         # name -> value-leaf nids, pre order (scan fallback for
         # substring/regex lookups; invalidated on structural changes).
         self._leaf_nids_cache: dict[str, list[int]] = {}
+        # (function, literal) -> (epoch key, nids): memoized contains/
+        # regex results, valid for exactly one mutation epoch (pinned
+        # views key on their own epoch, so concurrent readers at
+        # different snapshots never share an entry).
+        self._text_lookup_cache: dict[
+            tuple[str, str], tuple[object, list[int]]
+        ] = {}
         #: Runtime counters and timers (build/update/query/WAL paths).
         self.metrics = MetricsRegistry()
         #: Mutation epoch: bumped by every operation that changes what a
@@ -431,6 +439,24 @@ class IndexManager:
             low, high, include_low=include_low, include_high=include_high
         )
 
+    def lookup_typed_range_nids(
+        self,
+        type_name: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[int]:
+        """Batched :meth:`lookup_typed_range` returning just the nids
+        (leaf-slice collection, no per-entry generator frames)."""
+        return self.typed_index(type_name).range_nids(
+            low, high, include_low=include_low, include_high=include_high
+        )
+
+    def lookup_typed_equal_nids(self, type_name: str, value: Any) -> list[int]:
+        """Batched :meth:`lookup_typed_equal` (exact, no verify)."""
+        return self.typed_index(type_name).equal_nids(value)
+
     def lookup_typed_top(
         self, type_name: str, k: int, largest: bool = True
     ) -> list[tuple[Any, int]]:
@@ -456,30 +482,98 @@ class IndexManager:
         for doc in self.store.documents.values():
             yield from self._leaf_nids_of(doc)
 
+    def _text_lookup_epoch(self) -> object:
+        """Cache key component for text-scan lookups: the pinned
+        view's epoch inside a read view, else the live mutation epoch
+        (bumped by every result-changing operation)."""
+        view = active_view()
+        if view is not None and view.epoch is not None:
+            return ("view", view.epoch)
+        return ("live", self.epoch)
+
+    def _cached_text_lookup(self, function: str, literal: str):
+        entry = self._text_lookup_cache.get((function, literal))
+        if entry is not None and entry[0] == self._text_lookup_epoch():
+            self.metrics.counter("query.text_lookup.cache_hits").inc()
+            return entry[1]
+        return None
+
+    def _store_text_lookup(
+        self, function: str, literal: str, nids: list[int]
+    ) -> None:
+        cache = self._text_lookup_cache
+        if len(cache) >= 128:
+            cache.clear()
+        cache[(function, literal)] = (self._text_lookup_epoch(), nids)
+
+    def _scan_contains(self, doc: Document, needle: str) -> list[int]:
+        """All leaf nids of one document whose text contains
+        ``needle``, via the joined-region kernel when the document's
+        texts are directly addressable (no pinned MVCC overlay)."""
+        from .classify import containing_indices
+
+        leaf_nids = self._leaf_nids_of(doc)
+        if doc.text_overlay is None or read_epoch() is None:
+            cols = doc.columns()
+            if cols is not None:
+                leaf = (cols.kind == TEXT) | (cols.kind == ATTR)
+                slots = cols.text_id[leaf].tolist()
+                texts = doc.texts
+                leaf_texts = [texts[slot] for slot in slots]
+                matches = containing_indices(leaf_texts, needle)
+                if matches is not None:
+                    return [leaf_nids[i] for i in matches]
+        pre_of = doc.pre_of
+        text_of = doc.text_of
+        return [
+            nid
+            for nid in leaf_nids
+            if needle in text_of(pre_of(nid))
+        ]
+
     def lookup_contains(self, needle: str) -> Iterator[int]:
         """Value-leaf nids whose own text contains ``needle``.
 
         Uses the q-gram substring index when it can prune (needle at
-        least ``q`` long); otherwise falls back to the cached leaf
-        scan.  Index candidates are sorted so results are emitted in a
-        deterministic order either way, and always verified (exact).
+        least ``q`` long); otherwise scans the cached leaves with the
+        joined-region ``contains`` kernel.  Candidates are sorted so
+        results are emitted in a deterministic order either way, and
+        always verified (exact).  Results are memoized per mutation
+        epoch (repeated substring queries on an unchanged database are
+        answered from the cache).
         """
+        cached = self._cached_text_lookup("contains", needle)
+        if cached is not None:
+            return iter(cached)
         candidates: Iterable[int] | None = None
         if self.substring_index is not None:
             pruned = self.substring_index.candidates(needle)
             if pruned is not None:
                 candidates = sorted(pruned)
         if candidates is None:
-            candidates = self._all_leaf_nids()
-        for nid in candidates:
-            doc, pre = self.store.node(nid)
-            if needle in doc.text_of(pre):
-                yield nid
+            result = []
+            for doc in self.store.documents.values():
+                result.extend(self._scan_contains(doc, needle))
+        else:
+            result = []
+            node = self.store.node
+            for nid in candidates:
+                doc, pre = node(nid)
+                if needle in doc.text_of(pre):
+                    result.append(nid)
+        self._store_text_lookup("contains", needle, result)
+        return iter(result)
 
     def lookup_regex(self, pattern: str) -> Iterator[int]:
         """Value-leaf nids whose own text matches ``pattern`` (search
         semantics).  Mandatory literal factors of the pattern prune
-        through the substring index when possible."""
+        through the substring index when possible.  Results are
+        memoized per mutation epoch.  (Regex search stays per text:
+        a joined-region scan would be unsound — anchors, ``.`` and
+        quantifiers can straddle the sentinel.)"""
+        cached = self._cached_text_lookup("regex", pattern)
+        if cached is not None:
+            return iter(cached)
         compiled = re.compile(pattern)
         candidates: Iterable[int] | None = None
         if self.substring_index is not None:
@@ -488,10 +582,14 @@ class IndexManager:
                 candidates = sorted(pruned)
         if candidates is None:
             candidates = self._all_leaf_nids()
+        result = []
+        node = self.store.node
         for nid in candidates:
-            doc, pre = self.store.node(nid)
+            doc, pre = node(nid)
             if compiled.search(doc.text_of(pre)):
-                yield nid
+                result.append(nid)
+        self._store_text_lookup("regex", pattern, result)
+        return iter(result)
 
     # ------------------------------------------------------------------
     # Planner statistics

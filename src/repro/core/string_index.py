@@ -159,6 +159,15 @@ class StringIndex:
         """
         return self.lookup_hash(hash_string(value))
 
+    def candidate_nids(self, value: str) -> list[int]:
+        """Batched :meth:`candidates` (one leaf-slice range scan; same
+        unverified hash-bucket contents, as a list)."""
+        hash_value = hash_string(value)
+        keys = self._lookup_tree().range_keys(
+            (hash_value, -1), (hash_value, _MAX_NID)
+        )
+        return [nid for _hash, nid in keys]
+
     # ------------------------------------------------------------------
     # Statistics / storage model
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ import heapq
 from typing import Any, Iterator
 
 from ..btree import BPlusTree
+from .classify import legality_mask
 from .concurrency import active_view
 from .fsm import Fragment, REJECT_FRAGMENT, get_plugin
 
@@ -53,6 +54,23 @@ class TypedIndex:
     def field_of_text(self, text: str) -> Fragment:
         """Run the FSM over a text value (paper Figure 7, line 7)."""
         return self.plugin.fragment_of_text(text)
+
+    def field_of_texts(self, texts: list[str]) -> list[Fragment]:
+        """Batch form of :meth:`field_of_text` (builder batch hook).
+
+        Classifies all texts at once with the vectorized region kernel
+        (:func:`repro.core.classify.legality_mask`): texts carrying any
+        character outside the type's alphabet — the vast majority —
+        reject without ever running the scalar tokenizer.
+        """
+        mask = legality_mask(self.plugin, texts)
+        fragment_of_text = self.plugin.fragment_of_text
+        if mask is None:
+            return [fragment_of_text(text) for text in texts]
+        return [
+            fragment_of_text(text) if legal else REJECT_FRAGMENT
+            for text, legal in zip(texts, mask)
+        ]
 
     def combine(self, left: Fragment, right: Fragment) -> Fragment:
         """SCT probe + payload merge (paper Figure 7, lines 14/18)."""
@@ -180,6 +198,31 @@ class TypedIndex:
             low_key, high_key, include_low=True, include_high=include_high
         ):
             yield value, nid
+
+    def range_nids(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[int]:
+        """Batched :meth:`lookup_range` returning just the nids.
+
+        Collects the ``(value, nid)`` keys with the tree's leaf-slice
+        range scan (one list, no per-entry generator frames) — the
+        index-scan primitive of the vectorized executor.
+        """
+        low_key = None if low is None else (low, -1 if include_low else _MAX_NID)
+        high_key = None if high is None else (high, _MAX_NID if include_high else -1)
+        keys = self._lookup_tree().range_keys(
+            low_key, high_key, include_low=True, include_high=include_high
+        )
+        return [nid for _value, nid in keys]
+
+    def equal_nids(self, value: Any) -> list[int]:
+        """Batched :meth:`lookup_equal` (exact, no false positives)."""
+        keys = self._lookup_tree().range_keys((value, -1), (value, _MAX_NID))
+        return [nid for _value, nid in keys]
 
     def top_values(
         self, k: int, largest: bool = True

@@ -355,13 +355,16 @@ class Database:
         return self.manager.read_view()
 
     def query(self, text: str, document: str | None = None,
-              use_indexes: bool | str = True) -> list[int]:
+              use_indexes: bool | str = True,
+              vectorized: bool | None = None) -> list[int]:
         controller = self.manager.concurrency
         if controller is not None and active_view() is None:
             # Auto-pin: the whole evaluation runs at one epoch.
             with controller.read_view():
-                return _query(self.manager, text, document, use_indexes)
-        return _query(self.manager, text, document, use_indexes)
+                return _query(self.manager, text, document, use_indexes,
+                              vectorized=vectorized)
+        return _query(self.manager, text, document, use_indexes,
+                      vectorized=vectorized)
 
     def explain(self, text: str, execute: bool = False):
         """Plan report (see :func:`repro.query.planner.explain`): an

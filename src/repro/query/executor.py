@@ -14,6 +14,7 @@ full path structure and predicate before a node is emitted.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Iterable, Iterator
 
@@ -132,10 +133,9 @@ def _owned_pres(
             yield doc.pre_of(nid)
 
 
-def _index_hits(
-    manager: IndexManager, doc: Document, node: IndexLookup
-) -> list[int]:
-    """Pres of value-matching nodes for one ``IndexLookup``."""
+def _index_nids(manager: IndexManager, node: IndexLookup) -> Iterable[int]:
+    """nids of value-matching nodes for one ``IndexLookup`` (all
+    documents; ownership filtering is the caller's job)."""
     driver = node.driver
     if isinstance(driver, FunctionPredicate):
         if driver.function == "contains":
@@ -146,7 +146,19 @@ def _index_hits(
         nids = manager.lookup_string(driver.literal)
     else:  # a typed index (double, dateTime, ...)
         kind, op, value = node.kind, node.op_symbol, node.value
-        if op == "=":
+        if node.high_op is not None:
+            # Fused range conjunction: one bounded window scan.
+            nids = (
+                nid
+                for _v, nid in manager.lookup_typed_range(
+                    kind,
+                    low=value,
+                    high=node.high_value,
+                    include_low=(op == ">="),
+                    include_high=(node.high_op == "<="),
+                )
+            )
+        elif op == "=":
             nids = manager.lookup_typed_equal(kind, value)
         elif op == "<":
             nids = (
@@ -170,7 +182,14 @@ def _index_hits(
             nids = (
                 nid for _v, nid in manager.lookup_typed_range(kind, low=value)
             )
-    return list(_owned_pres(manager, doc, nids))
+    return nids
+
+
+def _index_hits(
+    manager: IndexManager, doc: Document, node: IndexLookup
+) -> list[int]:
+    """Pres of value-matching nodes for one ``IndexLookup``."""
+    return list(_owned_pres(manager, doc, _index_nids(manager, node)))
 
 
 def _run(
@@ -222,7 +241,18 @@ def _run(
         "rows": len(result),
         "seconds": time.perf_counter() - start,
     }
+    manager.metrics.counter("query.exec.scalar_ops").inc()
     return result
+
+
+def _scalar_forced() -> bool:
+    """Is the ``REPRO_SCALAR_EXEC=1`` escape hatch set?  Read per call
+    so tests (and operators) can flip it at runtime."""
+    return os.environ.get("REPRO_SCALAR_EXEC", "").lower() in (
+        "1",
+        "true",
+        "yes",
+    )
 
 
 def execute_plan(
@@ -230,16 +260,35 @@ def execute_plan(
     doc: Document,
     plan: PlanNode,
     actuals: dict[int, dict] | None = None,
+    vectorized: bool | None = None,
 ) -> list[int]:
     """Run a plan tree over one document; returns matching pres sorted
     in document order.  ``actuals`` (if given) is filled with
-    per-operator ``{"rows", "seconds"}`` entries keyed by ``op_id``."""
+    per-operator ``{"rows", "seconds"}`` entries keyed by ``op_id``.
+
+    ``vectorized`` selects the executor: ``None`` (default) uses the
+    batch executor (:mod:`repro.query.vexecutor`) unless the
+    ``REPRO_SCALAR_EXEC=1`` escape hatch is set; ``True``/``False``
+    force one side.  Without numpy the scalar executor always runs.
+    Both executors return identical results.
+    """
     if actuals is None:
         actuals = {}
     metrics = manager.metrics
-    result = _run(manager, doc, plan, actuals)
-    if isinstance(result, set):  # a bare candidate operator as root
-        result = sorted(result)
+    if vectorized is None:
+        vectorized = not _scalar_forced()
+    result: list[int] | None = None
+    if vectorized:
+        cols = doc.columns()
+        if cols is not None:
+            from .vexecutor import run_vectorized
+
+            result = run_vectorized(manager, doc, cols, plan, actuals)
+    if result is None:
+        scalar = _run(manager, doc, plan, actuals)
+        if isinstance(scalar, set):  # a bare candidate operator as root
+            scalar = sorted(scalar)
+        result = scalar
     if isinstance(plan, FullScan):
         metrics.counter("query.plans.scan").inc()
     else:

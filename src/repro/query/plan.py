@@ -105,19 +105,37 @@ class IndexLookup(PlanNode):
     index's name (``"double"``, ``"dateTime"``, ...).  For typed
     lookups ``value`` holds the literal already cast into the index's
     value domain.
+
+    A typed lookup may carry a *second* bound (``high_op``/
+    ``high_value``): the planner fuses conjoined range comparisons over
+    the same operand path (``[a >= x and a < y]``) into one bounded
+    window scan of the value B-tree.  ``proves`` lists every atomic
+    predicate each emitted node is guaranteed to satisfy (the driver
+    alone for plain lookups; all fused conjuncts for a window) — the
+    batch executor uses it to elide the scalar predicate re-check.
     """
 
     op = "IndexLookup"
 
     def __init__(self, kind: str, driver, op_symbol: str = "=",
-                 value: Any = None):
+                 value: Any = None, high_op: str | None = None,
+                 high_value: Any = None,
+                 proves: tuple | None = None):
         super().__init__()
         self.kind = kind
         self.driver = driver
         self.op_symbol = op_symbol
         self.value = value
+        self.high_op = high_op
+        self.high_value = high_value
+        self.proves = (driver,) if proves is None else proves
 
     def describe(self) -> str:
+        if self.high_op is not None:
+            return (
+                f"IndexLookup[{self.kind}] {self.op_symbol} {self.value!r} "
+                f"and {self.high_op} {self.high_value!r}"
+            )
         literal = getattr(self.driver, "literal", self.value)
         return f"IndexLookup[{self.kind}] {self.op_symbol} {literal!r}"
 

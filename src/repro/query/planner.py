@@ -227,26 +227,208 @@ def _atom_plan(manager: IndexManager, atom) -> PlanNode | None:
     return walk
 
 
+_LOW_OPS = (">", ">=")
+_HIGH_OPS = ("<", "<=")
+
+#: Negation of a bound: a value *fails* ``< h`` exactly when it
+#: satisfies ``>= h``, and so on.
+_NEGATED_OP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def _bound_implies(op: str, value, conjunct_op: str, conjunct_value) -> bool:
+    """Does every witness of ``op value`` also satisfy
+    ``conjunct_op conjunct_value``?  Both ops must be on the same side
+    (both lows or both highs)."""
+    if op in _LOW_OPS:
+        if value > conjunct_value:
+            return True
+        return value == conjunct_value and not (
+            op == ">=" and conjunct_op == ">"
+        )
+    if value < conjunct_value:
+        return True
+    return value == conjunct_value and not (
+        op == "<=" and conjunct_op == "<"
+    )
+
+
+def _range_walk(
+    manager: IndexManager,
+    name: str,
+    operand,
+    driver,
+    op: str,
+    value,
+    proves: tuple,
+) -> AncestorWalk:
+    """One priced ``IndexLookup → AncestorWalk`` over a typed bound.
+
+    ``proves`` may be empty: the lookup still *generates* candidates
+    from ``driver``'s operand path, it just guarantees nothing about
+    the original conjuncts (the residual re-check covers them).
+    """
+    lookup = IndexLookup(
+        name, driver, op_symbol=op, value=value, proves=proves
+    )
+    estimate = manager.statistics(name).estimate(op, value)
+    lookup.estimated_rows = estimate
+    lookup.estimated_cost = estimate * SCAN_COST_PER_NODE
+    walk = AncestorWalk(lookup, operand.steps)
+    walk.estimated_rows = estimate
+    walk.estimated_cost = lookup.estimated_cost + estimate * SCAN_COST_PER_NODE
+    return walk
+
+
+def _fuse_range_conjuncts(manager: IndexManager, conjuncts):
+    """Fuse typed range conjuncts over the same operand path into
+    bounded window lookups.
+
+    ``[year >= 2000 and year < 2005]`` becomes a B-tree scan of the
+    ``[2000, 2005)`` window instead of an open-ended scan of everything
+    ``>= 2000`` whose bulk is then discarded.
+
+    XPath comparisons are existential, so the two conjuncts may be
+    witnessed by *different* operand nodes: a context with years 1998
+    and 2007 satisfies both yet has nothing inside the window.  The
+    window alone is therefore an incomplete candidate generator, and
+    each fused plan is the exact decomposition
+
+        window(low, high)  ∪  (walk(¬high) ∩ walk(¬low))
+
+    — a context satisfying both bounds either has a single witness in
+    the window, or its low witness fails the high bound (``¬high``)
+    while some other node fails the low bound (``¬low``).  The
+    complement intersect is usually near-empty; the window does the
+    heavy lifting.  Returns ``(fused plans, leftover conjuncts)``;
+    every branch ``proves`` the absorbed conjuncts its witnesses
+    imply, so the batch executor can skip the scalar re-check
+    (:func:`repro.query.vexecutor._residual_predicates`).
+    """
+    groups: dict = {}
+    leftovers = []
+    for conjunct in conjuncts:
+        route = None
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op in _LOW_OPS + _HIGH_OPS
+            and all(
+                step.axis in _INDEXABLE_AXES
+                for step in conjunct.operand.steps
+            )
+        ):
+            route = _typed_route(manager, conjunct)
+        if route is None:
+            leftovers.append(conjunct)
+            continue
+        name, op, value = route
+        groups.setdefault((name, conjunct.operand), []).append(
+            (conjunct, op, value)
+        )
+    fused = []
+    for (name, operand), members in groups.items():
+        lows = [m for m in members if m[1] in _LOW_OPS]
+        highs = [m for m in members if m[1] in _HIGH_OPS]
+        if not lows or not highs:
+            leftovers.extend(atom for atom, _op, _value in members)
+            continue
+        # Tightest bound per side; at equal values the exclusive op
+        # is the tighter one.
+        _, low_op, low_value = max(lows, key=lambda m: (m[2], m[1] == ">"))
+        _, high_op, high_value = min(
+            highs, key=lambda m: (m[2], m[1] == "<=")
+        )
+        proves = tuple(atom for atom, _op, _value in members)
+        lookup = IndexLookup(
+            name,
+            proves[0],
+            op_symbol=low_op,
+            value=low_value,
+            high_op=high_op,
+            high_value=high_value,
+            proves=proves,
+        )
+        histogram = manager.statistics(name).histogram
+        estimate = histogram.estimate_range(low_value, high_value)
+        if low_op == ">":
+            estimate -= histogram.estimate_equal(low_value)
+        if high_op == "<":
+            estimate -= histogram.estimate_equal(high_value)
+        estimate = max(0.0, estimate)
+        lookup.estimated_rows = estimate
+        lookup.estimated_cost = estimate * SCAN_COST_PER_NODE
+        window = AncestorWalk(lookup, operand.steps)
+        window.estimated_rows = estimate
+        window.estimated_cost = (
+            lookup.estimated_cost + estimate * SCAN_COST_PER_NODE
+        )
+        # Complement: low witness past the high bound, high witness
+        # below the low bound.  Each branch proves the same-side
+        # conjuncts its witnesses imply (``>= 2005`` implies
+        # ``>= 2000``); anything unimplied stays a residual.
+        neg_high_op = _NEGATED_OP[high_op]
+        neg_low_op = _NEGATED_OP[low_op]
+        neg_high = _range_walk(
+            manager, name, operand, proves[0], neg_high_op, high_value,
+            tuple(
+                atom for atom, op, value in lows
+                if _bound_implies(neg_high_op, high_value, op, value)
+            ),
+        )
+        neg_low = _range_walk(
+            manager, name, operand, proves[0], neg_low_op, low_value,
+            tuple(
+                atom for atom, op, value in highs
+                if _bound_implies(neg_low_op, low_value, op, value)
+            ),
+        )
+        complement = Intersect((neg_high, neg_low))
+        complement.estimated_rows = min(
+            neg_high.estimated_rows, neg_low.estimated_rows
+        )
+        complement.estimated_cost = (
+            neg_high.estimated_cost + neg_low.estimated_cost
+        )
+        node = Union((window, complement))
+        node.estimated_rows = window.estimated_rows + complement.estimated_rows
+        node.estimated_cost = window.estimated_cost + complement.estimated_cost
+        fused.append(node)
+    return fused, leftovers
+
+
 def _cover_plan(manager: IndexManager, predicate) -> PlanNode | None:
     """Candidate-context subplan covering ``predicate``, or ``None``.
 
-    ``or`` unions all branches (each must be covered); ``and`` picks the
-    *cheapest* covered conjunct by estimate and intersects any further
-    conjunct whose own candidate walk is comparably cheap — every extra
-    intersection is sound (the true result is a subset of each
-    conjunct's candidates) and shrinks the verification load.
+    ``or`` unions all branches (each must be covered); ``and`` first
+    fuses same-path range conjuncts into bounded window scans
+    (:func:`_fuse_range_conjuncts`), then picks the *cheapest* covered
+    conjunct by estimate and intersects any further conjunct whose own
+    candidate walk is comparably cheap — every extra intersection is
+    sound (the true result is a subset of each conjunct's candidates)
+    and shrinks the verification load.
     """
     if isinstance(predicate, (Comparison, FunctionPredicate)):
         return _atom_plan(manager, predicate)
     if not isinstance(predicate, BooleanExpr):
         return None
-    covers = [
-        plan
-        for plan in (
-            _cover_plan(manager, child) for child in predicate.children
+    if predicate.op == "and":
+        fused, leftovers = _fuse_range_conjuncts(
+            manager, predicate.children
         )
-        if plan is not None
-    ]
+        covers = fused + [
+            plan
+            for plan in (
+                _cover_plan(manager, child) for child in leftovers
+            )
+            if plan is not None
+        ]
+    else:
+        covers = [
+            plan
+            for plan in (
+                _cover_plan(manager, child) for child in predicate.children
+            )
+            if plan is not None
+        ]
     if predicate.op == "and":
         if not covers:
             return None
@@ -369,6 +551,7 @@ def query(
     text: str,
     document: str | None = None,
     use_indexes: bool | str = True,
+    vectorized: bool | None = None,
 ) -> list[int]:
     """Evaluate a query; returns matching node ids in document order.
 
@@ -380,6 +563,10 @@ def query(
     * ``"auto"`` — cost-based: use the index only when its statistics
       predict fewer candidates than :data:`SCAN_THRESHOLD` of the
       document (an unselective range is cheaper to scan).
+
+    ``vectorized`` picks the executor (``None``: batch by default with
+    the ``REPRO_SCALAR_EXEC=1`` escape hatch; see
+    :func:`repro.query.executor.execute_plan`).
     """
     if use_indexes not in (True, False, "auto"):
         raise ValueError("use_indexes must be True, False or 'auto'")
@@ -394,7 +581,7 @@ def query(
     with metrics.timer("query.evaluate").time():
         for doc in docs:
             plan = _plan_for(manager, doc, text, parsed.path, use_indexes)
-            pres = execute_plan(manager, doc, plan)
+            pres = execute_plan(manager, doc, plan, vectorized=vectorized)
             results.extend(doc.nid[pre] for pre in pres)
     metrics.counter("query.executed").inc()
     return results

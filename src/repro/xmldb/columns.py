@@ -1,0 +1,184 @@
+"""Numpy views over a document's pre/size/level columns.
+
+The batch query executor (:mod:`repro.query.vexecutor`) exchanges
+sorted ``pre`` row-id arrays between operators, and its structural
+kernels reduce containment and ancestry to integer arithmetic over
+these columns — exactly what the paper's pre/size/level shredding was
+chosen for ("a range encoding ... permits efficient depth-first
+traversal").  :class:`DocColumns` materialises the Python list columns
+of one :class:`~repro.xmldb.document.Document` as contiguous numpy
+arrays, plus the derived arrays the kernels need:
+
+* ``parent_pre`` — the parent axis as a pre-plane pointer column
+  (computed vectorised from ``parent_nid`` via ``searchsorted``);
+* ``end`` — inclusive subtree end per node (``pre + size``), the right
+  edge of the containment interval ``anc_pre < pre <= anc_pre + size``;
+* ``nid_sorted``/``nid_order`` — the nid plane sorted, so batches of
+  index-supplied nids map to owned pres in one ``searchsorted`` instead
+  of one dict probe per node.
+
+A ``DocColumns`` snapshot is immutable; the owning document caches one
+per *structural* state and drops it on any splice/rename (text-value
+updates do not touch these columns, so they keep the cache).  This is
+the per-document contiguous pre-range cache that keeps scatter into
+the multi-document store array-shaped.
+"""
+
+from __future__ import annotations
+
+try:  # numpy is an accelerator, not a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+__all__ = ["DocColumns", "HAVE_NUMPY", "EMPTY_PRES"]
+
+HAVE_NUMPY = np is not None
+
+#: Shared empty row-id batch (int64, the pre-plane dtype).
+EMPTY_PRES = np.empty(0, dtype=np.int64) if HAVE_NUMPY else None
+
+
+class DocColumns:
+    """Immutable numpy snapshot of one document's structural columns."""
+
+    __slots__ = (
+        "kind",
+        "size",
+        "level",
+        "name_id",
+        "text_id",
+        "nid",
+        "parent_pre",
+        "end",
+        "nid_sorted",
+        "nid_order",
+        "n",
+        "_text_pos",
+    )
+
+    def __init__(self, doc) -> None:
+        if np is None:  # pragma: no cover - guarded by HAVE_NUMPY
+            raise RuntimeError("numpy is required for DocColumns")
+        self.kind = np.asarray(doc.kind, dtype=np.int8)
+        self.size = np.asarray(doc.size, dtype=np.int64)
+        self.level = np.asarray(doc.level, dtype=np.int32)
+        self.name_id = np.asarray(doc.name_id, dtype=np.int64)
+        self.text_id = np.asarray(doc.text_id, dtype=np.int64)
+        self.nid = np.asarray(doc.nid, dtype=np.int64)
+        self.n = len(doc.kind)
+        self.end = np.arange(self.n, dtype=np.int64) + self.size
+        order = np.argsort(self.nid, kind="stable")
+        self.nid_sorted = self.nid[order]
+        self.nid_order = order
+        parent_nid = np.asarray(doc.parent_nid, dtype=np.int64)
+        self.parent_pre = self._map_nids(parent_nid)
+        self._text_pos = None
+
+    def text_positions(self) -> "np.ndarray":
+        """Sorted pres of the document's TEXT nodes (lazy, cached).
+
+        Lets batch verification slice "the text descendants of pre"
+        out with two ``searchsorted`` probes over the subtree interval
+        instead of iterating the subtree.
+        """
+        if self._text_pos is None:
+            self._text_pos = np.flatnonzero(self.kind == 2).astype(
+                np.int64
+            )  # 2 == document.TEXT (kept literal: no circular import)
+        return self._text_pos
+
+    def _map_nids(self, nids: "np.ndarray") -> "np.ndarray":
+        """nid array -> pre array; unknown/negative nids map to -1."""
+        if self.n == 0:
+            return np.full(len(nids), -1, dtype=np.int64)
+        pos = np.searchsorted(self.nid_sorted, nids)
+        pos_clipped = np.minimum(pos, self.n - 1)
+        found = self.nid_sorted[pos_clipped] == nids
+        return np.where(found, self.nid_order[pos_clipped], -1)
+
+    def pres_of_nids(self, nids, assume_unique: bool = False) -> "np.ndarray":
+        """Sorted unique pres of the given nids that live in this
+        document (nids of other documents simply do not resolve —
+        the nid space is store-wide unique).
+
+        ``assume_unique`` skips the dedup when the caller guarantees
+        distinct nids (index scans never repeat a nid) — distinct nids
+        map to distinct pres, so a plain sort restores the batch
+        invariant.
+        """
+        if not isinstance(nids, (list, np.ndarray)):
+            nids = list(nids)
+        arr = np.asarray(nids, dtype=np.int64)
+        if arr.size == 0:
+            return EMPTY_PRES
+        pres = self._map_nids(arr)
+        pres = pres[pres >= 0]
+        if pres.size == 0:
+            return EMPTY_PRES
+        if assume_unique:
+            pres.sort()
+            return pres
+        return np.unique(pres)
+
+    # ------------------------------------------------------------------
+    # Structural primitives
+    # ------------------------------------------------------------------
+
+    def parents_of(self, pres: "np.ndarray") -> "np.ndarray":
+        """Unique parent pres (document-node parents drop out as -1)."""
+        if pres.size == 0:
+            return EMPTY_PRES
+        parents = self.parent_pre[pres]
+        parents = parents[parents >= 0]
+        return np.unique(parents)
+
+    def ancestors_of(self, pres: "np.ndarray") -> "np.ndarray":
+        """Sorted unique pres of all strict ancestors of ``pres``.
+
+        Climbs the ``parent_pre`` plane one level per iteration with
+        per-level dedup, so shared chains are walked once — O(depth)
+        array operations total.
+        """
+        if pres.size == 0:
+            return EMPTY_PRES
+        collected = []
+        cur = self.parents_of(pres)
+        while cur.size:
+            collected.append(cur)
+            cur = self.parents_of(cur)
+        if not collected:
+            return EMPTY_PRES
+        return np.unique(np.concatenate(collected))
+
+    def has_ancestor_in(
+        self, anchors: "np.ndarray", pres: "np.ndarray"
+    ) -> "np.ndarray":
+        """Boolean mask: does ``pres[i]`` have a strict ancestor in
+        ``anchors`` (sorted)?  Ancestry is pure interval arithmetic —
+        ``anc < pre <= anc + size[anc]`` — evaluated with one
+        ``searchsorted`` plus a running maximum over subtree ends:
+        because subtree intervals nest or are disjoint, *some* anchor
+        at or before ``pre`` contains it iff the prefix-max end at
+        ``pre``'s insertion point reaches ``pre``.
+        """
+        result = np.zeros(pres.size, dtype=bool)
+        if anchors.size == 0 or pres.size == 0:
+            return result
+        prefix_end = np.maximum.accumulate(self.end[anchors])
+        idx = np.searchsorted(anchors, pres, side="left")  # anchors < pre
+        nonzero = idx > 0
+        result[nonzero] = prefix_end[idx[nonzero] - 1] >= pres[nonzero]
+        return result
+
+    def parent_in(
+        self, anchors: "np.ndarray", pres: "np.ndarray"
+    ) -> "np.ndarray":
+        """Boolean mask: is ``parent(pres[i])`` a member of sorted
+        ``anchors``?"""
+        if anchors.size == 0 or pres.size == 0:
+            return np.zeros(pres.size, dtype=bool)
+        parents = self.parent_pre[pres]
+        pos = np.searchsorted(anchors, parents)
+        pos_clipped = np.minimum(pos, anchors.size - 1)
+        return (anchors[pos_clipped] == parents) & (parents >= 0)

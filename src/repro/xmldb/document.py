@@ -64,6 +64,16 @@ class Document:
         #: concurrency controller activates it (see xmldb/mvcc.py).
         self.text_overlay = None
         self._nid_to_pre: dict[int, int] = {}
+        #: Lazy nid-map maintenance: structural splices mark the map
+        #: dirty instead of eagerly rebuilding the full dict; the next
+        #: ``pre_of`` pays the rebuild once (see ``rebuild_nid_map``).
+        self._nid_map_dirty = False
+        #: Number of actual map rebuilds (observability for the lazy
+        #: path; tests assert consecutive splices coalesce into one).
+        self.nid_map_rebuilds = 0
+        #: Cached :class:`~repro.xmldb.columns.DocColumns` snapshot;
+        #: dropped by any structural change or rename.
+        self._columns = None
         #: Serialized size of the source XML in bytes (set by the
         #: shredder); used for the paper's Table 1 "Size MB" column.
         self.source_bytes = 0
@@ -95,11 +105,44 @@ class Document:
         self.nid.append(nid)
         self.parent_nid.append(parent_nid)
         self._nid_to_pre[nid] = pre
+        self._columns = None
         return pre
 
     def rebuild_nid_map(self) -> None:
-        """Recompute nid -> pre after a structural splice."""
+        """Mark nid -> pre stale after a structural splice.
+
+        The full dict rebuild is deferred to the next :meth:`pre_of`
+        (lazy, dirty-flag), so a batch of consecutive splices pays one
+        rebuild instead of one per splice.  Also drops the cached
+        column snapshot — the pre plane shifted.
+        """
+        self._nid_map_dirty = True
+        self._columns = None
+
+    def _rebuild_nid_map_now(self) -> None:
         self._nid_to_pre = {nid: pre for pre, nid in enumerate(self.nid)}
+        self._nid_map_dirty = False
+        self.nid_map_rebuilds += 1
+
+    def invalidate_columns(self) -> None:
+        """Drop the cached column snapshot (non-splice mutations that
+        still touch a structural column, e.g. rename)."""
+        self._columns = None
+
+    def columns(self):
+        """Numpy snapshot of the structural columns (cached until the
+        next structural change); ``None`` when numpy is unavailable."""
+        columns = self._columns
+        if columns is None:
+            from .columns import HAVE_NUMPY, DocColumns
+
+            if not HAVE_NUMPY:
+                return None
+            if self._nid_map_dirty:
+                self._rebuild_nid_map_now()
+            columns = DocColumns(self)
+            self._columns = columns
+        return columns
 
     # ------------------------------------------------------------------
     # Accessors
@@ -111,6 +154,8 @@ class Document:
 
     def pre_of(self, nid: int) -> int:
         """Pre rank of node ``nid``; raises on unknown ids."""
+        if self._nid_map_dirty:
+            self._rebuild_nid_map_now()
         pre = self._nid_to_pre.get(nid)
         if pre is None:
             raise DocumentError(f"unknown node id {nid} in document {self.name!r}")

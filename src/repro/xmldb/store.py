@@ -146,6 +146,7 @@ class Store:
         if doc.kind[pre] not in (ELEM, ATTR, PI):
             raise DocumentError(f"node {nid} has no name to change")
         doc.name_id[pre] = doc.vocabulary.intern(new_name)
+        doc.invalidate_columns()
 
     # ------------------------------------------------------------------
     # Structural updates

@@ -2,12 +2,14 @@
 
 Spins up N reader threads and M writer threads against one live
 :class:`~repro.database.Database`.  Every reader query runs inside a
-pinned :meth:`~repro.database.Database.read_view` and is cross-checked
-against the naive full-scan oracle (:func:`repro.query.evaluate_naive`)
-evaluated on the *same pinned snapshot* — the document's text reads
-resolve through the MVCC overlay, so both sides see epoch-consistent
-state.  Any divergence, or a post-run :meth:`verify` failure, is a hard
-failure; error messages carry the thread slot and seed so a failing
+pinned :meth:`~repro.database.Database.read_view` under *both*
+executors — the vectorized batch pipeline and the scalar per-node
+walk — and each is cross-checked against the naive full-scan oracle
+(:func:`repro.query.evaluate_naive`) evaluated on the *same pinned
+snapshot* — the document's text reads resolve through the MVCC
+overlay, so all three sides see epoch-consistent state.  Any
+divergence, or a post-run :meth:`verify` failure, is a hard failure;
+error messages carry the thread slot and seed so a failing
 interleaving can be replayed.
 """
 
@@ -139,12 +141,14 @@ def run_stress(
                     break
                 text = rng.choice(QUERY_MAKERS)(rng)
                 with db.read_view():
-                    indexed = sorted(db.query(text))
+                    batch = sorted(db.query(text, vectorized=True))
+                    scalar = sorted(db.query(text, vectorized=False))
                     expected = oracle(db.store.document("people"), text)
-                if indexed != expected:
+                if batch != expected or scalar != expected:
                     errors.append(
                         f"reader {slot} (seed {seed}): divergence on "
-                        f"{text!r}: indexed={indexed} oracle={expected}"
+                        f"{text!r}: batch={batch} scalar={scalar} "
+                        f"oracle={expected}"
                     )
                     stop.set()
                     return
