@@ -11,6 +11,9 @@
 #   make concurrent — just the differential concurrency suite
 #                  (docs/concurrency.md)
 #   make serve-test — just the network serving suite (docs/serving.md)
+#   make shard-test — just the shard-per-core suite: manifest,
+#                  coordinator, scatter-gather properties and the
+#                  kill-one-shard fault case (docs/sharding.md)
 #   make stress  — bounded, seeded reader/writer soak (default 30s;
 #                  tune with STRESS_SECONDS / STRESS_SEED)
 #   make bench   — tier-2: paper experiments + ablations at the default
@@ -23,6 +26,9 @@
 #                  against one server (emits BENCH_serve_network.json)
 #   make bench-vectorized — batch vs scalar executor query sweep
 #                  (emits BENCH_vectorized_exec.json)
+#   make bench-shard — scatter-gather scale-out sweep over shard
+#                  counts, differential-verified against the
+#                  single-engine oracle (emits BENCH_shard_scaleout.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -30,8 +36,9 @@ REPRO_BENCH_SCALE ?= 0.12
 STRESS_SECONDS ?= 30
 STRESS_SEED ?= 777
 
-.PHONY: test lint faults concurrent serve-test stress bench \
-	bench-parallel bench-concurrent bench-serve bench-vectorized
+.PHONY: test lint faults concurrent serve-test shard-test stress bench \
+	bench-parallel bench-concurrent bench-serve bench-vectorized \
+	bench-shard
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -49,11 +56,14 @@ concurrent:
 serve-test:
 	$(PYTHON) -m pytest tests/server -q
 
+shard-test:
+	$(PYTHON) -m pytest tests/shard tests/concurrent/test_shard_faults.py -q
+
 stress:
 	REPRO_STRESS_SECONDS=$(STRESS_SECONDS) REPRO_STRESS_SEED=$(STRESS_SEED) \
 	$(PYTHON) -m pytest tests/concurrent -q -s
 
-test: lint faults concurrent serve-test
+test: lint faults concurrent serve-test shard-test
 	$(PYTHON) -m pytest -x -q
 
 bench: bench-vectorized
@@ -73,3 +83,6 @@ bench-serve:
 
 bench-vectorized:
 	$(PYTHON) -m repro.bench.vectorized
+
+bench-shard:
+	$(PYTHON) -m repro.bench.shard

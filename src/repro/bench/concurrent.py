@@ -20,7 +20,6 @@ fsyncs-per-commit (from the ``wal.*``/``concurrency.*`` counters).
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import shutil
@@ -32,6 +31,7 @@ from dataclasses import dataclass, field
 from ..database import Database
 from ..xmldb.document import ELEM, TEXT
 from .harness import render_table
+from .report import emit
 
 __all__ = ["ServeResult", "run", "write_json", "format_report", "main"]
 
@@ -238,7 +238,6 @@ def write_json(results: list[ServeResult], path: str = JSON_PATH) -> dict:
         default=None,
     )
     payload = {
-        "bench": "concurrent_serve",
         "reader_threads": READER_COUNT,
         "configurations": [
             {
@@ -274,10 +273,16 @@ def write_json(results: list[ServeResult], path: str = JSON_PATH) -> dict:
             ),
         },
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return payload
+    return emit(
+        path, "concurrent_serve", payload,
+        workload=f"text-update commits vs {READER_COUNT} snapshot "
+                 f"reader(s), query {_QUERY!r}",
+        config={
+            "writer_counts": sorted({r.writers for r in results}),
+            "updates_per_writer": UPDATES_PER_WRITER,
+            "reader_threads": READER_COUNT,
+        },
+    )
 
 
 def format_report(results: list[ServeResult]) -> str:

@@ -14,7 +14,6 @@ the core count so readers can judge the curve.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 
@@ -25,6 +24,7 @@ from ..core.typed_index import TypedIndex
 from ..workloads import DATASETS, bench_scale
 from ..xmldb import Store
 from .harness import measure_seconds, render_table
+from .report import emit
 
 __all__ = ["ParallelResult", "run", "write_json", "format_report", "main"]
 
@@ -103,7 +103,6 @@ def write_json(
     )
     total_serial = sum(r.serial_seconds for r in results)
     payload = {
-        "bench": "parallel_build",
         "scale": scale,
         "backend": backend,
         "cores_available": resolve_workers("auto"),
@@ -135,10 +134,12 @@ def write_json(
             },
         },
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return payload
+    return emit(
+        path, "parallel_build", payload,
+        workload=f"parallel index creation over {sorted(r.name for r in results)}",
+        config={"scale": scale, "backend": backend,
+                "workers": worker_counts},
+    )
 
 
 def format_report(results: list[ParallelResult]) -> str:

@@ -1,0 +1,47 @@
+"""Shared emitter for the ``BENCH_*.json`` artifacts.
+
+Every bench module used to hand-roll its own ``json.dump`` with its
+own key conventions; :func:`emit` is the one place that writes a bench
+artifact now, and it stamps the envelope fields CI and the plotting
+scripts key on:
+
+* ``schema_version`` — bumped when the envelope itself changes shape;
+* ``bench`` — the stable experiment name (matches the file name);
+* ``workload`` — what was measured (dataset/query-set description);
+* ``config`` — the knobs this run was taken under (scales, worker
+  counts, sync levels ...), so two artifacts are comparable only when
+  their configs say so.
+
+Experiment-specific keys ride alongside the envelope at the top level,
+exactly where the pre-envelope consumers already look for them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "emit"]
+
+#: Version of the artifact envelope written by :func:`emit`.
+SCHEMA_VERSION = 1
+
+
+def emit(path: str, bench: str, payload: dict[str, Any], *,
+         workload: Any = None,
+         config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Stamp the envelope onto ``payload`` and write it to ``path``.
+
+    Returns the stamped payload (what's now on disk).  ``payload``
+    keys win over the envelope only for ``bench``-specific data — the
+    envelope fields themselves are reserved and always overwritten.
+    """
+    stamped: dict[str, Any] = dict(payload)
+    stamped["schema_version"] = SCHEMA_VERSION
+    stamped["bench"] = bench
+    stamped["workload"] = workload
+    stamped["config"] = dict(config or {})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(stamped, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return stamped

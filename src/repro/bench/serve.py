@@ -23,7 +23,6 @@ Knobs (environment): ``REPRO_SERVE_CLIENTS`` (total connections),
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import shutil
 import tempfile
@@ -34,6 +33,7 @@ from ..database import Database
 from ..server import ServerThread
 from ..xmldb.document import ELEM, TEXT
 from .harness import render_table
+from .report import emit
 
 __all__ = ["run", "write_json", "format_report", "main"]
 
@@ -189,7 +189,6 @@ def run(
         batch_size = histograms.get("wal.group.batch_size", {})
         fsyncs = counters.get("wal.fsyncs", 0)
         payload = {
-            "bench": "serve_network",
             "clients": clients,
             "reader_clients": clients - writer_clients,
             "writer_clients": writer_clients,
@@ -221,10 +220,14 @@ def run(
         shutil.rmtree(base, ignore_errors=True)
 
 
-def write_json(payload: dict, path: str = JSON_PATH) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+def write_json(payload: dict, path: str = JSON_PATH) -> dict:
+    return emit(
+        path, "serve_network", payload,
+        workload=f"{CLIENTS} pipelined connections "
+                 f"({WRITER_CLIENTS} writers), query {_QUERY!r}",
+        config={"clients": CLIENTS, "writer_clients": WRITER_CLIENTS,
+                "duration_seconds": DURATION_SECONDS},
+    )
 
 
 def format_report(payload: dict) -> str:

@@ -1,0 +1,177 @@
+"""Shard scale-out benchmark: the 23-query sweep at 1..N shards.
+
+For each shard count the corpus (XMark1, DBLP, PSD, Wiki, EPAGeo) is
+round-robin-placed over that many *worker processes* and the full
+23-query workload (:data:`repro.workloads.QUERY_SETS`) is scattered
+repeatedly through the coordinator; aggregate throughput is total
+queries over wall time.  Every sharded result is first verified
+**bit-identical** — same ``(document, pre)`` rows in the same global
+order, no duplicates across shard boundaries — against an unsharded
+in-process oracle before any timing is taken.
+
+Emits ``BENCH_shard_scaleout.json``.  Scale-out is real parallelism
+across OS processes, so the headline speedup needs the cores: on an
+M-core machine the curve should approach min(shards, M)x for the
+index-bound queries (the ``cores_available`` field records what this
+run had to work with — on a single core the sharded runs can only tie
+or lose, the differential verification is then the point).
+
+Env knobs: ``REPRO_SHARD_COUNTS`` (default ``1,2,4``),
+``REPRO_SHARD_REPEATS`` (default 3 sweeps per configuration),
+``REPRO_BENCH_SCALE_SHARD`` (generator scale; default
+``bench_scale()``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from ..database import Database
+from ..shard import ShardCluster
+from ..workloads import DATASETS, QUERY_SETS, bench_scale
+from .harness import render_table
+from .report import emit
+
+__all__ = ["run", "write_json", "format_report", "main"]
+
+JSON_PATH = "BENCH_shard_scaleout.json"
+
+BENCH_DATASETS = ("XMark1", "DBLP", "PSD", "Wiki", "EPAGeo")
+
+
+def _shard_counts() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_SHARD_COUNTS", "1,2,4")
+    return tuple(int(part) for part in raw.split(",") if part)
+
+
+def _scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE_SHARD")
+    return float(raw) if raw else bench_scale()
+
+
+def _workload() -> list[tuple[str, str]]:
+    queries: list[tuple[str, str]] = []
+    for dataset in BENCH_DATASETS:
+        for name, text in QUERY_SETS[dataset]:
+            queries.append((f"{dataset}/{name}", text))
+    return queries
+
+
+def _oracle_rows(corpus: list[tuple[str, str]],
+                 queries: list[tuple[str, str]],
+                 base: str) -> dict[str, list[tuple[str, int]]]:
+    """Single-engine answers in (document, pre) space — the
+    placement-independent shape every sharded run must reproduce."""
+    with Database(os.path.join(base, "oracle")) as db:
+        for name, xml in corpus:
+            db.load(name, xml)
+        return {
+            label: [(doc, pre) for doc, pre, _nid in db.query_rows(text)]
+            for label, text in queries
+        }
+
+
+def run() -> dict:
+    scale = _scale()
+    repeats = int(os.environ.get("REPRO_SHARD_REPEATS", "3"))
+    counts = _shard_counts()
+    queries = _workload()
+    corpus = [
+        (name, DATASETS[name].build(scale)) for name in BENCH_DATASETS
+    ]
+    base = tempfile.mkdtemp(prefix="repro-bench-shard-")
+    try:
+        oracle = _oracle_rows(corpus, queries, base)
+        configurations = []
+        for shards in counts:
+            root = os.path.join(base, f"cluster-{shards}")
+            with ShardCluster(root, shards=shards,
+                              transport="process").start() as cluster:
+                for idx, (name, xml) in enumerate(corpus):
+                    cluster.load(name, xml, shard=idx % shards)
+                mismatches = 0
+                for label, text in queries:
+                    rows = cluster.query_pres(text)
+                    if rows != oracle[label]:
+                        mismatches += 1
+                started = time.perf_counter()
+                for _ in range(repeats):
+                    for _label, text in queries:
+                        cluster.query(text)
+                elapsed = time.perf_counter() - started
+            executed = repeats * len(queries)
+            configurations.append({
+                "shards": shards,
+                "queries": executed,
+                "elapsed_seconds": elapsed,
+                "queries_per_second": executed / elapsed,
+                "oracle_mismatches": mismatches,
+            })
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    by_shards = {c["shards"]: c for c in configurations}
+    base_qps = by_shards.get(1, configurations[0])["queries_per_second"]
+    payload = {
+        "cores_available": os.cpu_count() or 1,
+        "query_count": len(queries),
+        "repeats": repeats,
+        "configurations": configurations,
+        "aggregate": {
+            "verified_bit_identical": all(
+                c["oracle_mismatches"] == 0 for c in configurations
+            ),
+            "speedup_vs_1_shard": {
+                str(c["shards"]): c["queries_per_second"] / base_qps
+                for c in configurations
+            },
+        },
+    }
+    return payload
+
+
+def write_json(payload: dict, path: str = JSON_PATH) -> dict:
+    return emit(
+        path, "shard_scaleout", payload,
+        workload=f"{payload['query_count']}-query sweep over "
+                 f"{list(BENCH_DATASETS)}, scatter-gathered",
+        config={
+            "scale": _scale(),
+            "shard_counts": [c["shards"]
+                             for c in payload["configurations"]],
+            "repeats": payload["repeats"],
+            "cores_available": payload["cores_available"],
+        },
+    )
+
+
+def format_report(payload: dict) -> str:
+    headers = ["shards", "queries/s", "speedup", "oracle"]
+    speedups = payload["aggregate"]["speedup_vs_1_shard"]
+    rows = [
+        [
+            str(c["shards"]),
+            f"{c['queries_per_second']:,.1f}",
+            f"{speedups[str(c['shards'])]:.2f}x",
+            "ok" if c["oracle_mismatches"] == 0
+            else f"{c['oracle_mismatches']} MISMATCH",
+        ]
+        for c in payload["configurations"]
+    ]
+    return render_table(headers, rows)
+
+
+def main() -> None:
+    payload = run()
+    print(f"Shard scale-out: {payload['query_count']}-query sweep, "
+          f"{payload['repeats']} repeat(s), "
+          f"{payload['cores_available']} core(s) available")
+    print(format_report(payload))
+    write_json(payload)
+    print(f"wrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

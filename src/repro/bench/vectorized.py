@@ -19,7 +19,6 @@ the *conservative* direction for the reported speedup.
 
 from __future__ import annotations
 
-import json
 import os
 import statistics
 import time
@@ -29,6 +28,7 @@ from ..core.manager import IndexManager
 from ..query.planner import query
 from ..workloads import DATASETS, QUERY_SETS
 from .harness import render_table
+from .report import emit
 
 __all__ = ["QueryTiming", "DatasetResult", "run", "write_json",
            "format_report", "main"]
@@ -151,7 +151,6 @@ def write_json(
     results: list[DatasetResult], path: str = JSON_PATH
 ) -> dict:
     payload = {
-        "benchmark": "vectorized_exec",
         "datasets": [
             {
                 "name": result.name,
@@ -175,9 +174,12 @@ def write_json(
             "query_count": sum(len(r.timings) for r in results),
         },
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-    return payload
+    return emit(
+        path, "vectorized_exec", payload,
+        workload=f"{payload['aggregate']['query_count']}-query sweep "
+                 f"over {list(BENCH_DATASETS)}",
+        config={"datasets": list(BENCH_DATASETS)},
+    )
 
 
 def main() -> None:

@@ -97,11 +97,29 @@ def cmd_init(args) -> int:
     return 0
 
 
+def _is_cluster(path: str) -> bool:
+    from .shard.manifest import ShardingManifest
+
+    return ShardingManifest.exists(path)
+
+
+def _open_cluster(path: str):
+    """Spin up the workers of an existing shard cluster directory."""
+    from .shard import ShardCluster
+
+    return ShardCluster(path).start()
+
+
 def cmd_load(args) -> int:
+    with open(args.file, encoding="utf-8") as fh:
+        xml = fh.read()
+    if _is_cluster(args.db):
+        with _open_cluster(args.db) as cluster:
+            shard = cluster.load(args.name, xml)
+        print(f"loaded {args.name!r} onto shard {shard}")
+        return 0
     with _open(args.db, _parse_parallel(args.parallel),
                args.parallel_backend) as db:
-        with open(args.file, encoding="utf-8") as fh:
-            xml = fh.read()
         doc = db.load(args.name, xml)
     print(f"loaded {args.name!r}: {len(doc):,} nodes")
     return 0
@@ -113,6 +131,11 @@ def cmd_generate(args) -> int:
         print(f"unknown dataset {args.dataset!r}; one of {sorted(DATASETS)}",
               file=sys.stderr)
         return 2
+    if _is_cluster(args.db):
+        with _open_cluster(args.db) as cluster:
+            shard = cluster.load(args.dataset, spec.build(args.scale))
+        print(f"generated {args.dataset} onto shard {shard}")
+        return 0
     with _open(args.db, _parse_parallel(args.parallel),
                args.parallel_backend) as db:
         doc = db.load(args.dataset, spec.build(args.scale))
@@ -154,6 +177,18 @@ def cmd_stats(args) -> int:
 
 
 def cmd_query(args) -> int:
+    if _is_cluster(args.db):
+        with _open_cluster(args.db) as cluster:
+            if args.explain:
+                print(cluster.explain(args.xpath)["summary"])
+            rows = cluster.query(args.xpath,
+                                 use_indexes=not args.no_index)
+        print(f"{len(rows)} hit(s)")
+        for doc, pre, nid in rows[: args.limit]:
+            print(f"  [{doc}] pre {pre} (shard nid {nid})")
+        if len(rows) > args.limit:
+            print(f"  ... and {len(rows) - args.limit} more")
+        return 0
     manager = _open(args.db)
     if args.explain:
         explanation = manager.explain(args.xpath)
@@ -224,6 +259,8 @@ def cmd_serve(args) -> int:
 
     from .server import serve
 
+    if args.shards is not None or _is_cluster(args.db):
+        return _serve_cluster(args)
     db = _open(args.db, concurrent=True,
                group_commit=not args.no_group_commit,
                group_batch_max=args.group_batch_max,
@@ -241,9 +278,58 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _serve_cluster(args) -> int:
+    """``serve --shards N``: one engine process per shard, served on
+    per-shard ports (clients route/scatter via ShardCluster or talk to
+    a shard directly — every port speaks the full wire protocol)."""
+    import signal
+    import threading
+
+    from .shard import ShardCluster
+
+    cluster = ShardCluster(
+        args.db, shards=args.shards,
+        group_commit=not args.no_group_commit,
+    )
+    cluster.start()
+    for shard, (host, port) in cluster.addresses().items():
+        print(f"shard {shard}: {host}:{port}")
+    print(f"serving {cluster.manifest.shards} shard(s) at {args.db!r} "
+          "(SIGTERM drains)")
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:
+            break  # non-main thread (tests): stopped programmatically
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    cluster.stop()
+    print("cluster drained; WALs closed")
+    return 0
+
+
+def cmd_shard_init(args) -> int:
+    from .shard import ShardCluster
+
+    cluster = ShardCluster(
+        args.root, shards=args.shards,
+        config={
+            "string": not args.no_string,
+            "typed": list(args.typed),
+            "substring": args.substring,
+        },
+    )
+    cluster.create_shards()
+    print(f"initialised {args.shards}-shard cluster at {args.root}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import concurrent, figure9, figure10, figure11, parallel, \
-        serve, table1
+        serve, shard, table1
 
     module = {
         "table1": table1,
@@ -253,6 +339,7 @@ def cmd_bench(args) -> int:
         "parallel": parallel,
         "concurrent": concurrent,
         "serve": serve,
+        "shard": shard,
     }[args.experiment]
     module.main()
     return 0
@@ -350,12 +437,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reader thread-pool size")
     p.add_argument("--write-workers", type=int, default=8,
                    help="writer thread-pool size")
+    p.add_argument("--shards", type=int, default=None,
+                   help="serve a shard cluster: one engine process per "
+                        "shard (docs/sharding.md)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "shard-init",
+        help="create an empty N-shard cluster directory (docs/sharding.md)",
+    )
+    p.add_argument("root")
+    p.add_argument("--shards", type=int, required=True)
+    p.add_argument("--typed", nargs="*", default=["double"],
+                   help="typed range indices to maintain")
+    p.add_argument("--no-string", action="store_true",
+                   help="skip the string equality index")
+    p.add_argument("--substring", action="store_true",
+                   help="maintain the q-gram substring index")
+    p.set_defaults(fn=cmd_shard_init)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
                    choices=["table1", "figure9", "figure10", "figure11",
-                            "parallel", "concurrent", "serve"])
+                            "parallel", "concurrent", "serve", "shard"])
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -109,6 +109,22 @@ class Client:
     def hello(self) -> dict:
         return self.call("hello")
 
+    def handshake(self, features: tuple[str, ...] | list[str] = ()) -> dict:
+        """Version-checked ``hello``: announce our protocol version and
+        the ``features`` we require.  An incompatible server answers
+        with the stable ``unsupported_version`` code (surfaced as a
+        :class:`ClientError`); a *newer* server that still accepted us
+        is rejected client-side the same way."""
+        result = self.call("hello", **wire.hello_request(features))
+        if result.get("protocol") != wire.PROTOCOL_VERSION:
+            raise ClientError(
+                wire.E_UNSUPPORTED_VERSION,
+                f"server speaks protocol {result.get('protocol')!r}, "
+                f"client speaks {wire.PROTOCOL_VERSION}",
+                {"result": result},
+            )
+        return result
+
     def ping(self) -> dict:
         return self.call("ping")
 
@@ -121,6 +137,19 @@ class Client:
         if view is not None:
             params["view"] = view
         return self.call("query", **params)["nids"]
+
+    def query_rows(self, xpath: str, document: str | None = None,
+                   use_indexes: bool | str = True,
+                   view: int | None = None) -> list[list]:
+        """Query returning ``[document, pre, nid]`` rows (the
+        placement-independent shape the shard coordinator merges)."""
+        params: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes,
+                                  "rows": True}
+        if document is not None:
+            params["document"] = document
+        if view is not None:
+            params["view"] = view
+        return self.call("query", **params)["rows"]
 
     def lookup(self, mode: str, **params: Any) -> list[int]:
         return self.call("lookup", mode=mode, **params)["nids"]

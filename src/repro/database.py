@@ -6,6 +6,13 @@ opening after a crash replays the log over the last checkpoint through
 the ordinary index-maintenance path (which is deterministic, so
 replayed structural updates recreate identical node ids).
 
+Since the shard-per-core refactor the whole engine body lives in
+:class:`repro.shard.engine.ShardEngine`; ``Database`` is the
+single-shard deployment of that core — same constructor, same methods,
+same on-disk layout.  A directory created by one opens under the other.
+Multi-core deployments run one engine per process behind
+:class:`repro.shard.coordinator.ShardCluster` instead.
+
 Example::
 
     with Database("./mydb", typed=("double",)) as db:
@@ -17,449 +24,18 @@ Example::
 
 from __future__ import annotations
 
-import os
-import threading
-from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
-
-from .core import IndexManager
-from .core.concurrency import active_view
-from .query import explain as _explain
-from .query import query as _query
-from .storage import faults
-from .storage.groupcommit import GroupCommitLog
-from .storage.persist import (
-    load_manager,
-    manifest_epoch,
-    read_manifest,
-    save_manager,
-)
-from .storage.wal import (
-    DELETE_ATTRIBUTE,
-    DELETE_SUBTREE,
-    INSERT_ATTRIBUTE,
-    INSERT_XML,
-    RENAME,
-    TEXT_UPDATE,
-    ReplayStats,
-    WalRecord,
-    WriteAheadLog,
-    replay_records,
-)
+from .shard.engine import RecoveryReport, ShardEngine
 
 __all__ = ["Database", "RecoveryReport"]
 
-_WAL_FILE = "wal.log"
-_MANIFEST = "MANIFEST.json"
 
-
-@dataclass(frozen=True)
-class RecoveryReport:
-    """What opening an existing database found in its WAL.
-
-    * ``replayed`` — records applied through the maintenance path;
-    * ``skipped_epoch`` — records from epochs the committed snapshot
-      already folded in (e.g. a crash landed between the snapshot
-      commit and the WAL truncate);
-    * ``rejected_crc`` — frames whose checksum or body failed to
-      verify (bit flips, or garbage after a torn frame);
-    * ``torn_tail`` — incomplete final frames from a crash mid-append;
-    * ``wal_format`` — on-disk WAL format version that was read back.
-    """
-
-    replayed: int = 0
-    skipped_epoch: int = 0
-    rejected_crc: int = 0
-    torn_tail: int = 0
-    wal_format: int = 0
-
-    @property
-    def clean(self) -> bool:
-        return not (self.replayed or self.skipped_epoch
-                    or self.rejected_crc or self.torn_tail)
-
-
-class Database:
+class Database(ShardEngine):
     """A persistent, WAL-protected XML database with generic indices.
 
-    Args:
-        path: Database directory (created when absent).
-        string/typed/substring: Index configuration for a *new*
-            database; an existing one keeps its stored configuration.
-        sync: WAL durability (``"none"``/``"flush"``/``"fsync"``).
-        checkpoint_every: Auto-checkpoint after this many logged
-            updates (0 disables; explicit :meth:`checkpoint` always
-            works).
-        parallel: Creation-pass parallelism for :meth:`load` — ``None``
-            (serial), ``"auto"`` or a worker count (see
-            :mod:`repro.core.parallel`).
-        parallel_backend: ``"process"`` (default) or ``"thread"``.
-        concurrent: Enable the concurrent serving path: queries pin
-            snapshot-isolated read views, text updates run under MVCC,
-            structural updates stop the world (docs/concurrency.md).
-        group_commit: Batch concurrent writers' WAL records so one
-            fsync covers a whole batch (implies ``concurrent``).
-        group_batch_max: Most records per commit batch.
-        group_batch_wait_ms: How long the commit leader lingers for a
-            fuller batch (0 = commit immediately).
+    The single-shard facade over :class:`~repro.shard.engine.ShardEngine`
+    — see that class for the constructor arguments and method
+    reference.
     """
-
-    def __init__(
-        self,
-        path: str,
-        string: bool = True,
-        typed: Iterable[str] = ("double",),
-        substring: bool = False,
-        sync: str = "flush",
-        checkpoint_every: int = 10_000,
-        parallel: int | str | None = None,
-        parallel_backend: str = "process",
-        concurrent: bool = False,
-        group_commit: bool = False,
-        group_batch_max: int = 32,
-        group_batch_wait_ms: float = 0.0,
-    ):
-        self.path = path
-        self._checkpoint_every = checkpoint_every
-        self._pending = 0
-        self._pending_lock = threading.Lock()
-        wal_path = os.path.join(path, _WAL_FILE)
-        if os.path.exists(os.path.join(path, _MANIFEST)):
-            manifest = read_manifest(path)
-            self.checkpoint_epoch = manifest_epoch(manifest)
-            self.manager = load_manager(path)
-            stats = ReplayStats()
-            replayed = skipped = 0
-            for record in replay_records(wal_path, stats):
-                if record.epoch < self.checkpoint_epoch:
-                    # Already folded into the committed snapshot (a
-                    # crash hit between snapshot commit and WAL
-                    # truncate); replaying would double-apply it.
-                    skipped += 1
-                    continue
-                self._apply(record)
-                replayed += 1
-            self.recovered_records = replayed
-            self.recovery = RecoveryReport(
-                replayed=replayed,
-                skipped_epoch=skipped,
-                rejected_crc=stats.rejected_crc,
-                torn_tail=stats.torn_tail,
-                wal_format=stats.format_version,
-            )
-            if replayed:
-                # Fold the replayed tail into a fresh checkpoint.
-                faults.crashpoint("recovery.before_refold")
-                self.checkpoint_epoch = save_manager(
-                    self.manager, path, epoch=self.checkpoint_epoch + 1
-                )
-                faults.crashpoint("recovery.refolded")
-        else:
-            os.makedirs(path, exist_ok=True)
-            self.manager = IndexManager(
-                string=string, typed=tuple(typed), substring=substring
-            )
-            self.checkpoint_epoch = save_manager(self.manager, path)
-            self.recovered_records = 0
-            self.recovery = RecoveryReport()
-        self.manager.parallel = parallel
-        self.manager.parallel_backend = parallel_backend
-        self._record_recovery_metrics()
-        self._wal = WriteAheadLog(
-            wal_path, sync=sync, metrics=self.manager.metrics,
-            epoch=self.checkpoint_epoch,
-        )
-        if not self.recovery.clean or self._wal.needs_upgrade:
-            # Replayed records are folded, stale/corrupt records must
-            # not survive, and legacy logs upgrade to the framed format.
-            self._wal.truncate(epoch=self.checkpoint_epoch)
-        # Concurrency is enabled only after recovery: replay is
-        # single-threaded by construction.
-        self._group: GroupCommitLog | None = None
-        if concurrent or group_commit:
-            self.manager.enable_concurrency()
-        if group_commit:
-            self._group = GroupCommitLog(
-                self._wal,
-                batch_max=group_batch_max,
-                batch_wait=group_batch_wait_ms / 1000.0,
-                metrics=self.manager.metrics,
-            )
-
-    def _record_recovery_metrics(self) -> None:
-        metrics = self.manager.metrics
-        report = self.recovery
-        if report.replayed:
-            metrics.counter("wal.recovery.replayed").inc(report.replayed)
-        if report.skipped_epoch:
-            metrics.counter("wal.recovery.skipped_epoch").inc(
-                report.skipped_epoch
-            )
-        if report.rejected_crc:
-            metrics.counter("wal.recovery.rejected_crc").inc(
-                report.rejected_crc
-            )
-        if report.torn_tail:
-            metrics.counter("wal.recovery.torn_tail").inc(report.torn_tail)
-
-    # ------------------------------------------------------------------
-    # Recovery
-    # ------------------------------------------------------------------
-
-    def _apply(self, record: WalRecord) -> None:
-        manager = self.manager
-        if record.kind == TEXT_UPDATE:
-            manager.update_text(record.nid, record.text)
-        elif record.kind == INSERT_XML:
-            before = record.extra - 1 if record.extra else None
-            manager.insert_xml(record.nid, record.text, before_nid=before)
-        elif record.kind == DELETE_SUBTREE:
-            manager.delete_subtree(record.nid)
-        elif record.kind == INSERT_ATTRIBUTE:
-            manager.insert_attribute(record.nid, record.name, record.text)
-        elif record.kind == DELETE_ATTRIBUTE:
-            manager.delete_attribute(record.nid)
-        elif record.kind == RENAME:
-            manager.rename(record.nid, record.name)
-
-    def _log(self, record: WalRecord) -> None:
-        self._wal.append(record)
-        self._bump_pending()
-
-    def _bump_pending(self) -> None:
-        with self._pending_lock:
-            self._pending += 1
-            due = (
-                self._checkpoint_every
-                and self._pending >= self._checkpoint_every
-            )
-            if due:
-                # Arm the trigger once: reset while still holding the
-                # lock, so a second writer crossing the threshold
-                # concurrently cannot also see due=True and run a
-                # back-to-back stop-the-world checkpoint.
-                self._pending = 0
-        if due:
-            self.checkpoint()
-
-    def _write_scope(self):
-        """Serializes apply + WAL-append so log order equals apply
-        order across writer threads (no-op when single-threaded).
-        Raises instead of deadlocking if the calling thread is inside a
-        read view (it holds the latch shared; waiting on the writer
-        lock here could cycle with a structural writer draining
-        shared holders)."""
-        controller = self.manager.concurrency
-        if controller is None:
-            return nullcontext()
-        controller.check_write_allowed()
-        return controller.write_lock
-
-    def _logged(self, apply, record: WalRecord):
-        """Run one logged update: apply it and make it durable.
-
-        Concurrent path: the in-memory apply and the WAL enqueue
-        happen under the writer lock; the *wait* for durability
-        happens outside it, so the next writer's apply overlaps this
-        record's fsync (and, with group commit, several writers share
-        one fsync).  The update is acknowledged — this method returns —
-        only once its record is on storage at the configured sync
-        level.
-        """
-        if self._group is None:
-            with self._write_scope():
-                result = apply()
-                self._log(record)
-            return result
-        with self._write_scope():
-            result = apply()
-            seq = self._group.enqueue(record)
-        self._group.wait_durable(seq)
-        self._bump_pending()
-        return result
-
-    # ------------------------------------------------------------------
-    # Document management
-    # ------------------------------------------------------------------
-
-    def load(self, name: str, xml: str):
-        """Shred + index a document; forces a checkpoint (bulk loads
-        are snapshot-sized events, not log records)."""
-        doc = self.manager.load(name, xml)
-        self.checkpoint()
-        return doc
-
-    def unload(self, name: str) -> None:
-        self.manager.unload(name)
-        self.checkpoint()
-
-    @property
-    def store(self):
-        return self.manager.store
-
-    # ------------------------------------------------------------------
-    # Logged updates
-    # ------------------------------------------------------------------
-
-    def update_text(self, nid: int, new_text: str) -> int:
-        return self._logged(
-            lambda: self.manager.update_text(nid, new_text),
-            WalRecord(TEXT_UPDATE, nid, text=new_text),
-        )
-
-    def insert_xml(self, parent_nid: int, fragment: str,
-                   before_nid: int | None = None):
-        return self._logged(
-            lambda: self.manager.insert_xml(parent_nid, fragment, before_nid),
-            WalRecord(
-                INSERT_XML,
-                parent_nid,
-                text=fragment,
-                extra=0 if before_nid is None else before_nid + 1,
-            ),
-        )
-
-    def delete_subtree(self, nid: int):
-        return self._logged(
-            lambda: self.manager.delete_subtree(nid),
-            WalRecord(DELETE_SUBTREE, nid),
-        )
-
-    def insert_attribute(self, owner_nid: int, name: str, value: str):
-        return self._logged(
-            lambda: self.manager.insert_attribute(owner_nid, name, value),
-            WalRecord(INSERT_ATTRIBUTE, owner_nid, text=value, name=name),
-        )
-
-    def delete_attribute(self, attr_nid: int):
-        return self._logged(
-            lambda: self.manager.delete_attribute(attr_nid),
-            WalRecord(DELETE_ATTRIBUTE, attr_nid),
-        )
-
-    def rename(self, nid: int, new_name: str) -> None:
-        self._logged(
-            lambda: self.manager.rename(nid, new_name),
-            WalRecord(RENAME, nid, name=new_name),
-        )
-
-    # ------------------------------------------------------------------
-    # Reads
-    # ------------------------------------------------------------------
-
-    def read_view(self):
-        """A pinned snapshot view (context manager; requires
-        ``concurrent=True``).  Queries and lookups inside the scope all
-        run at the pinned epoch."""
-        return self.manager.read_view()
-
-    def query(self, text: str, document: str | None = None,
-              use_indexes: bool | str = True,
-              vectorized: bool | None = None) -> list[int]:
-        controller = self.manager.concurrency
-        if controller is not None and active_view() is None:
-            # Auto-pin: the whole evaluation runs at one epoch.
-            with controller.read_view():
-                return _query(self.manager, text, document, use_indexes,
-                              vectorized=vectorized)
-        return _query(self.manager, text, document, use_indexes,
-                      vectorized=vectorized)
-
-    def explain(self, text: str, execute: bool = False):
-        """Plan report (see :func:`repro.query.planner.explain`): an
-        :class:`~repro.query.planner.Explanation` comparable to the
-        legacy summary strings and carrying per-document plan trees."""
-        controller = self.manager.concurrency
-        if controller is not None and active_view() is None:
-            # Auto-pin like query(): pricing and (with execute=True)
-            # operator execution must not straddle epochs.
-            with controller.read_view():
-                return _explain(self.manager, text, execute=execute)
-        return _explain(self.manager, text, execute=execute)
-
-    def metrics(self) -> dict:
-        """Snapshot of runtime counters and timers (queries, plan
-        cache, index builds/updates, statistics refreshes, WAL)."""
-        return self.manager.metrics.snapshot()
-
-    def lookup_string(self, value: str) -> Iterator[int]:
-        return self.manager.lookup_string(value)
-
-    def lookup_typed_equal(self, type_name: str, value: Any) -> Iterator[int]:
-        return self.manager.lookup_typed_equal(type_name, value)
-
-    def lookup_typed_range(self, type_name: str, low=None, high=None,
-                           **kwargs) -> Iterator[tuple[Any, int]]:
-        return self.manager.lookup_typed_range(type_name, low, high, **kwargs)
-
-    def lookup_contains(self, needle: str) -> Iterator[int]:
-        return self.manager.lookup_contains(needle)
-
-    def lookup_regex(self, pattern: str) -> Iterator[int]:
-        return self.manager.lookup_regex(pattern)
-
-    def verify(self):
-        """First-principles integrity check (see repro.core.verify)."""
-        from .core.verify import verify_database
-
-        return verify_database(self.manager)
-
-    # ------------------------------------------------------------------
-    # Durability
-    # ------------------------------------------------------------------
-
-    def checkpoint(self) -> None:
-        """Snapshot everything and reset the log.
-
-        The snapshot commits atomically under the next checkpoint epoch
-        (manifest written last); only then is the WAL truncated and
-        moved to the new epoch.  A crash in between is safe: recovery
-        skips WAL records whose epoch predates the committed snapshot.
-
-        Under the concurrent serving path this is a stop-the-world
-        operation: the exclusive latch drains readers and writers, and
-        any queued group-commit records are flushed before the
-        snapshot, so the truncated WAL never holds an applied-but-
-        unwritten update.
-        """
-        controller = self.manager.concurrency
-        scope = (
-            nullcontext() if controller is None
-            # A checkpoint drains readers but changes no indexed
-            # state, so it must not invalidate session pins.
-            else controller.exclusive(structural=False)
-        )
-        with scope:
-            if self._group is not None:
-                self._group.drain()
-            self.checkpoint_epoch = save_manager(
-                self.manager, self.path, epoch=self.checkpoint_epoch + 1
-            )
-            faults.crashpoint("checkpoint.after_snapshot")
-            self._wal.truncate(epoch=self.checkpoint_epoch)
-            with self._pending_lock:
-                self._pending = 0
-
-    def close(self, checkpoint: bool = True) -> None:
-        """Flush (optionally checkpoint) and release the WAL handle.
-
-        The handle is released even when the checkpoint or the group
-        drain raises (e.g. a poisoned :class:`GroupCommitLog`
-        re-raising its injected crash): a server restarting after a
-        poison must not hold the old file open.
-        """
-        try:
-            if checkpoint:
-                self.checkpoint()
-            elif self._group is not None and not self._group.poisoned:
-                self._group.drain()
-        finally:
-            self._wal.close()
 
     def __enter__(self) -> "Database":
         return self
-
-    def __exit__(self, exc_type, _exc, _tb) -> None:
-        # On an exception, keep the WAL so recovery replays it.
-        self.close(checkpoint=exc_type is None)

@@ -40,7 +40,43 @@ from .ast import (
 )
 from .evaluator import _predicate_holds
 
-__all__ = ["match_test", "ancestor_walk", "structural_verify"]
+__all__ = ["match_test", "ancestor_walk", "structural_verify", "kway_merge"]
+
+
+def kway_merge(arrays: "list[np.ndarray]") -> "np.ndarray":
+    """Merge sorted int64 key arrays into one sorted array.
+
+    The gather half of scatter-gather: each shard returns its hits as a
+    sorted key array (``global_doc_index << 40 | pre`` — documents are
+    whole-shard-resident, so the per-shard arrays are already in global
+    order and, placements being disjoint, duplicate-free across
+    shards).  Pairwise merges proceed tournament-style so every element
+    moves O(log k) times; each pairwise merge is a vectorized
+    searchsorted + slot scatter, not an elementwise Python loop.
+    """
+    arrays = [a for a in arrays if a.size]
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    while len(arrays) > 1:
+        merged = []
+        for i in range(0, len(arrays) - 1, 2):
+            left, right = arrays[i], arrays[i + 1]
+            out = np.empty(left.size + right.size, dtype=np.int64)
+            # Positions of right's elements in the merged output: their
+            # own index plus how many left elements precede them.
+            right_slots = (
+                np.searchsorted(left, right, side="left")
+                + np.arange(right.size)
+            )
+            mask = np.ones(out.size, dtype=bool)
+            mask[right_slots] = False
+            out[right_slots] = right
+            out[mask] = left
+            merged.append(out)
+        if len(arrays) % 2:
+            merged.append(arrays[-1])
+        arrays = merged
+    return arrays[0]
 
 
 def match_test(

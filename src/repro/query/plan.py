@@ -37,6 +37,8 @@ __all__ = [
     "Intersect",
     "Union",
     "StructuralVerify",
+    "ScatterGather",
+    "RemotePlan",
     "render_plan",
 ]
 
@@ -189,6 +191,49 @@ class StructuralVerify(PlanNode):
 
     def describe(self) -> str:
         return f"StructuralVerify[{len(self.path.steps)} step(s)]"
+
+
+class ScatterGather(PlanNode):
+    """Coordinator root: scatter the query to shards, k-way merge.
+
+    Children are one :class:`RemotePlan` per participating shard.  Each
+    shard evaluates its local plan (its own IndexLookup/window scans —
+    predicate evaluation is pushed down with the query text, so only
+    row-id batches cross the process boundary) and returns hits sorted
+    by (global document index, pre); the gather side merges them with
+    :func:`repro.query.kernels.kway_merge`.
+    """
+
+    op = "ScatterGather"
+
+    def __init__(self, children: tuple["RemotePlan", ...]):
+        super().__init__(children)
+
+    def describe(self) -> str:
+        return f"ScatterGather[{len(self.children)} shard(s)]"
+
+
+class RemotePlan(PlanNode):
+    """One shard's contribution to a scatter-gather plan.
+
+    A display/accounting proxy: the actual operator tree lives in the
+    shard process; ``summary`` carries the shard's own ``explain``
+    rendering so a coordinator explain still shows where indices were
+    used.
+    """
+
+    op = "RemotePlan"
+
+    def __init__(self, shard: int, documents: tuple[str, ...],
+                 summary: str = ""):
+        super().__init__()
+        self.shard = shard
+        self.documents = documents
+        self.summary = summary
+
+    def describe(self) -> str:
+        docs = ",".join(self.documents) if self.documents else "-"
+        return f"RemotePlan[shard={self.shard} docs={docs}]"
 
 
 def number_plan(root: PlanNode) -> PlanNode:

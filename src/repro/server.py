@@ -50,6 +50,7 @@ from .wire import (
     E_NO_VIEW,
     E_SHUTTING_DOWN,
     E_UNKNOWN_OP,
+    E_UNSUPPORTED_VERSION,
     E_VIEW_INVALID,
     PROTOCOL_VERSION,
 )
@@ -336,11 +337,19 @@ class DatabaseServer:
     # ------------------------------------------------------------------
 
     async def _op_hello(self, session, message) -> dict:
+        reason = wire.check_hello(message)
+        if reason is not None:
+            raise RequestError(
+                E_UNSUPPORTED_VERSION, reason,
+                protocol=PROTOCOL_VERSION, features=list(wire.FEATURES),
+            )
         return {
             "server": "repro-xml",
             "protocol": PROTOCOL_VERSION,
+            "features": list(wire.FEATURES),
             "session": session.session_id,
             "epoch": self._controller.published().epoch,
+            "shard": self.db.shard_id,
             "documents": sorted(self.db.store.documents),
         }
 
@@ -355,6 +364,15 @@ class DatabaseServer:
             raise RequestError(
                 E_BAD_REQUEST, "use_indexes must be true, false or 'auto'"
             )
+        if message.get("rows"):
+            # Scatter-gather shape: (document, pre, nid) rows — pre
+            # addresses survive re-placement, bare nids don't.  The
+            # engine maps rows at the same pinned epoch it evaluates.
+            rows = await self._run_read(
+                session, message,
+                lambda: self.db.query_rows(text, document, use_indexes),
+            )
+            return {"rows": [list(row) for row in rows]}
         nids = await self._run_read(
             session, message,
             lambda: self.db.query(text, document, use_indexes),
@@ -449,6 +467,27 @@ class DatabaseServer:
             )
         return await self._run_update(call)
 
+    async def _op_load(self, session, message) -> dict:
+        """Shred + index one document (a checkpoint-forcing bulk
+        write — runs on the writer pool behind admission control)."""
+        name = self._require(message, "name")
+        xml = self._require(message, "xml")
+
+        def call():
+            doc = self.db.load(name, xml)
+            return {"nodes": len(doc.nid)}
+
+        return await self._run_update(call)
+
+    async def _op_unload(self, session, message) -> dict:
+        name = self._require(message, "name")
+
+        def call():
+            self.db.unload(name)
+            return {}
+
+        return await self._run_update(call)
+
     async def _op_view_open(self, session, message) -> dict:
         pin = self._controller.open_pin()
         view_id = session.next_view
@@ -478,6 +517,8 @@ class DatabaseServer:
         "lookup": _op_lookup,
         "explain": _op_explain,
         "update": _op_update,
+        "load": _op_load,
+        "unload": _op_unload,
         "view.open": _op_view_open,
         "view.close": _op_view_close,
         "metrics": _op_metrics,

@@ -1,0 +1,660 @@
+"""Scatter-gather coordinator over per-document shard workers.
+
+:class:`ShardCluster` runs N shard workers (separate OS processes by
+default — one engine per core is the whole point — or in-process
+:class:`~repro.server.ServerThread`\\ s for fast tests), places whole
+documents on shards via the :class:`~repro.shard.manifest.ShardingManifest`,
+and presents the familiar engine API on top:
+
+* **updates** are routed to the single shard owning the document, so
+  every engine guarantee (WAL, group commit, acked ⇒ durable) holds
+  unchanged — an update never spans shards;
+* **queries** scatter to every owning shard over the wire protocol
+  (predicates travel with the query text, so each shard runs its own
+  index plans and only ``(document, pre, nid)`` row batches come
+  back), and the gather side k-way merges the per-shard sorted key
+  arrays with :func:`repro.query.kernels.kway_merge` into exactly the
+  order a single-shard engine would produce;
+* **read views** pin a *consistent epoch vector* by two-phase
+  publication: phase one pins a session view on every shard, phase
+  two re-reads every shard's published epoch and retries until no
+  shard advanced in between — since each update commits on exactly
+  one shard, a vector observed in such a quiescent instant is a
+  consistent cut;
+* a shard that dies surfaces as the stable ``shard_down`` error
+  (:class:`ShardDownError`) on every operation that needs it, while
+  the remaining shards keep serving; :meth:`restart_shard` respawns
+  the worker, whose engine recovers from its own WAL + manifest.
+
+``docs/sharding.md`` specifies placement, snapshots and failure
+semantics; ``repro.bench.shard`` measures the scale-out claim.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+from .. import wire
+from ..client import Client, ClientError
+from ..errors import ReproError
+from ..query.kernels import kway_merge
+from ..query.plan import RemotePlan, ScatterGather, number_plan, render_plan
+from .engine import ShardEngine
+from .manifest import ShardingManifest
+
+__all__ = ["ShardCluster", "ShardError", "ShardDownError", "ClusterView"]
+
+#: Bits reserved for ``pre`` in the int64 merge key
+#: ``global_doc_index << PRE_BITS | pre`` (a single document may hold
+#: up to 2**40 nodes before keys could collide).
+PRE_BITS = 40
+_PRE_MASK = (1 << PRE_BITS) - 1
+
+#: Attempts at a stable epoch vector before giving up.
+PIN_ATTEMPTS = 16
+
+
+class ShardError(ReproError):
+    """A cluster-level failure tagged with the shard it came from."""
+
+    code = "shard_error"
+
+    def __init__(self, shard: int | None, message: str):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardDownError(ShardError):
+    """The owning shard is unreachable (stable code ``shard_down``).
+
+    Raised for every routed or scattered operation that needs the dead
+    shard; other shards keep serving.  :meth:`ShardCluster.restart_shard`
+    brings the worker back through ordinary WAL recovery.
+    """
+
+    code = wire.E_SHARD_DOWN
+
+
+class ClusterView:
+    """A pinned cross-shard read view: one epoch per shard, one
+    consistent cut overall (see module docstring)."""
+
+    def __init__(self, pins: dict[int, tuple[int, int]]):
+        #: shard → (server view token, pinned epoch)
+        self.pins = pins
+
+    @property
+    def epochs(self) -> dict[int, int]:
+        """The pinned epoch vector (shard → epoch)."""
+        return {shard: epoch for shard, (_view, epoch) in self.pins.items()}
+
+    def token(self, shard: int) -> int | None:
+        pin = self.pins.get(shard)
+        return pin[0] if pin else None
+
+
+def _src_dir() -> str:
+    # .../src/repro/shard/coordinator.py → .../src
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+
+class _ProcessWorker:
+    """One shard worker in its own OS process (the scale-out unit)."""
+
+    def __init__(self, path: str, shard_id: int, *, sync: str,
+                 checkpoint_every: int, group_commit: bool,
+                 kill_at: str | None = None,
+                 kill_keep_bytes: int | None = None):
+        cmd = [
+            sys.executable, "-m", "repro.shard.worker",
+            "--path", path,
+            "--shard-id", str(shard_id),
+            "--sync", sync,
+            "--checkpoint-every", str(checkpoint_every),
+        ]
+        if not group_commit:
+            cmd.append("--no-group-commit")
+        if kill_at is not None:
+            cmd += ["--kill-at", kill_at]
+            if kill_keep_bytes is not None:
+                cmd += ["--kill-keep-bytes", str(kill_keep_bytes)]
+        env = dict(os.environ)
+        src = _src_dir()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, env=env, text=True
+        )
+        line = self.proc.stdout.readline()
+        if not line.startswith("PORT "):
+            self.proc.wait()
+            raise ShardError(
+                shard_id, f"worker for shard {shard_id} failed to start "
+                f"(exit {self.proc.returncode})"
+            )
+        self.host = "127.0.0.1"
+        self.port = int(line.split()[1])
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self.alive():
+            self.proc.terminate()  # SIGTERM → graceful drain
+        try:
+            self.proc.wait(timeout=timeout)
+        finally:
+            self.proc.stdout.close()
+
+    def kill(self) -> None:
+        """Hard kill (test support — no drain, no checkpoint)."""
+        if self.alive():
+            self.proc.kill()
+        self.proc.wait()
+        self.proc.stdout.close()
+
+
+class _ThreadWorker:
+    """One shard worker on an in-process server thread (fast tests;
+    shares the GIL, so no true scale-out and no hard kill)."""
+
+    def __init__(self, path: str, shard_id: int, *, sync: str,
+                 checkpoint_every: int, group_commit: bool,
+                 kill_at: str | None = None,
+                 kill_keep_bytes: int | None = None):
+        if kill_at is not None:
+            raise ShardError(
+                shard_id, "kill injection requires the process transport"
+            )
+        from ..server import ServerThread
+
+        self.engine = ShardEngine(
+            path, sync=sync, checkpoint_every=checkpoint_every,
+            concurrent=True, group_commit=group_commit, shard_id=shard_id,
+        )
+        self.thread = ServerThread(self.engine)
+        self.host, self.port = self.thread.start()
+        self._stopped = False
+
+    def alive(self) -> bool:
+        return not self._stopped
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.thread.stop(timeout=timeout)
+
+    def kill(self) -> None:
+        self.stop()
+
+
+class ShardCluster:
+    """Coordinate N shard workers behind one engine-shaped API.
+
+    Args:
+        root: Cluster directory — ``SHARDING.json`` plus one
+            ``shard-NNN/`` engine directory per shard.
+        shards: Shard count for a *new* cluster (an existing
+            ``SHARDING.json`` wins; passing a conflicting count is an
+            error).
+        config: Index configuration for new shards, e.g.
+            ``{"string": True, "typed": ["double"], "substring": False}``
+            — recorded in the sharding manifest so restarts and late
+            shard creation agree.
+        transport: ``"process"`` (one worker per OS process; the
+            scale-out deployment) or ``"thread"`` (in-process server
+            threads; fast tests).
+        sync / checkpoint_every / group_commit: Per-shard engine knobs
+            (see :class:`~repro.shard.engine.ShardEngine`).
+    """
+
+    def __init__(self, root: str, shards: int | None = None,
+                 config: dict[str, Any] | None = None,
+                 transport: str = "process", sync: str = "flush",
+                 checkpoint_every: int = 10_000,
+                 group_commit: bool = True):
+        if transport not in ("process", "thread"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if ShardingManifest.exists(root):
+            self.manifest = ShardingManifest.load(root)
+            if shards is not None and shards != self.manifest.shards:
+                raise ShardError(
+                    None,
+                    f"cluster at {root!r} has {self.manifest.shards} "
+                    f"shards; cannot reopen with {shards}",
+                )
+        else:
+            if shards is None:
+                raise ShardError(None, "new cluster needs a shard count")
+            self.manifest = ShardingManifest(shards, config=config)
+            self.manifest.save(root)
+        self.root = root
+        self.transport = transport
+        self.sync = sync
+        self.checkpoint_every = checkpoint_every
+        self.group_commit = group_commit
+        self._workers: dict[int, Any] = {}
+        self._clients: dict[int, Client | None] = {}
+        self._kill_specs: dict[int, tuple[str, int | None]] = {}
+        self._doc_index: dict[str, int] = {}
+        self._reindex()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardCluster":
+        """Create missing shard directories (with the manifest's index
+        config), spawn every worker and handshake each connection."""
+        self.create_shards()
+        for shard in range(self.manifest.shards):
+            self._spawn(shard)
+        return self
+
+    def create_shards(self) -> None:
+        """Create any missing shard engine directories without
+        spawning workers (the ``shard-init`` CLI path)."""
+        for shard in range(self.manifest.shards):
+            self._ensure_shard_dir(shard)
+
+    def addresses(self) -> dict[int, tuple[str, int]]:
+        """Bound address of every running worker (shard → host, port)."""
+        return {
+            shard: (worker.host, worker.port)
+            for shard, worker in sorted(self._workers.items())
+        }
+
+    def _ensure_shard_dir(self, shard: int) -> None:
+        path = self.manifest.shard_dir(self.root, shard)
+        if not os.path.exists(os.path.join(path, "MANIFEST.json")):
+            config = self.manifest.config
+            ShardEngine(
+                path,
+                string=config.get("string", True),
+                typed=tuple(config.get("typed", ("double",))),
+                substring=config.get("substring", False),
+            ).close()
+
+    def _spawn(self, shard: int) -> None:
+        cls = _ProcessWorker if self.transport == "process" else _ThreadWorker
+        kill_at, keep = self._kill_specs.pop(shard, (None, None))
+        worker = cls(
+            self.manifest.shard_dir(self.root, shard), shard,
+            sync=self.sync, checkpoint_every=self.checkpoint_every,
+            group_commit=self.group_commit,
+            kill_at=kill_at, kill_keep_bytes=keep,
+        )
+        self._workers[shard] = worker
+        client = Client(worker.host, worker.port)
+        client.handshake(features=("rows",))
+        self._clients[shard] = client
+
+    def stop(self) -> None:
+        """Drain every worker (graceful: in-flight work finishes, each
+        shard checkpoints and truncates its WAL) and save the manifest."""
+        for client in self._clients.values():
+            if client is not None:
+                client.close()
+        self._clients.clear()
+        for worker in self._workers.values():
+            worker.stop()
+        self._workers.clear()
+        self.manifest.save(self.root)
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- fault-test support ---------------------------------------------
+
+    def arm_kill(self, shard: int, point: str,
+                 occurrence: int = 1,
+                 keep_bytes: int | None = None) -> None:
+        """Arm the *next spawn* of ``shard`` to ``os._exit`` at the
+        given crashpoint occurrence (process transport only) — a real
+        mid-commit process death for the fault suite."""
+        spec = point if occurrence == 1 else f"{point}:{occurrence}"
+        self._kill_specs[shard] = (spec, keep_bytes)
+
+    def kill_shard(self, shard: int) -> None:
+        """Hard-kill a worker immediately (no drain, no checkpoint)."""
+        worker = self._workers.get(shard)
+        if worker is not None:
+            worker.kill()
+        self._drop_client(shard)
+
+    def restart_shard(self, shard: int) -> None:
+        """Respawn one worker; its engine recovers from WAL + manifest."""
+        worker = self._workers.pop(shard, None)
+        if worker is not None:
+            if worker.alive():
+                worker.stop()
+            elif isinstance(worker, _ProcessWorker):
+                worker.proc.wait()
+                worker.proc.stdout.close()
+        self._drop_client(shard)
+        self._spawn(shard)
+
+    def shard_alive(self, shard: int) -> bool:
+        worker = self._workers.get(shard)
+        return worker is not None and worker.alive()
+
+    def _drop_client(self, shard: int) -> None:
+        client = self._clients.pop(shard, None)
+        if client is not None:
+            client.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _reindex(self) -> None:
+        self._doc_index = {
+            name: idx for idx, name in enumerate(self.manifest.doc_order)
+        }
+
+    def _client(self, shard: int) -> Client:
+        client = self._clients.get(shard)
+        worker = self._workers.get(shard)
+        if client is None or worker is None or not worker.alive():
+            raise ShardDownError(shard, f"shard {shard} is down")
+        return client
+
+    def _owner(self, document: str) -> int:
+        shard = self.manifest.placement.get(document)
+        if shard is None:
+            raise ShardError(None, f"unknown document {document!r}")
+        return shard
+
+    def _routed(self, shard: int, fn):
+        """Run one client call against ``shard``, mapping transport
+        failures (dead socket, worker exit) to :class:`ShardDownError`."""
+        client = self._client(shard)
+        try:
+            return fn(client)
+        except ClientError as exc:
+            if exc.code == "disconnected":
+                raise ShardDownError(
+                    shard, f"shard {shard} went down mid-request"
+                ) from exc
+            raise
+        except (ConnectionError, OSError) as exc:
+            raise ShardDownError(
+                shard, f"shard {shard} unreachable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Documents and updates (single-shard routed)
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, xml: str, shard: int | None = None) -> int:
+        """Place + load one document; returns the owning shard.
+
+        The placement is recorded in the sharding manifest *before*
+        the shard loads (and the manifest is re-saved after), so a
+        crash between the two leaves a placed-but-empty name, never an
+        orphan document.
+        """
+        target = self.manifest.place(name, shard)
+        self.manifest.save(self.root)
+        self._reindex()
+        try:
+            self._routed(target,
+                         lambda c: c.call("load", name=name, xml=xml))
+        except BaseException:
+            self.manifest.unplace(name)
+            self.manifest.save(self.root)
+            self._reindex()
+            raise
+        return target
+
+    def unload(self, name: str) -> None:
+        shard = self._owner(name)
+        self._routed(shard, lambda c: c.call("unload", name=name))
+        self.manifest.unplace(name)
+        self.manifest.save(self.root)
+        self._reindex()
+
+    def update_text(self, document: str, nid: int, text: str,
+                    busy_retries: int = 0) -> dict:
+        shard = self._owner(document)
+        return self._routed(
+            shard, lambda c: c.update_text(nid, text,
+                                           busy_retries=busy_retries))
+
+    def insert_xml(self, document: str, nid: int, fragment: str,
+                   before: int | None = None) -> dict:
+        shard = self._owner(document)
+        return self._routed(
+            shard, lambda c: c.insert_xml(nid, fragment, before))
+
+    def delete_subtree(self, document: str, nid: int) -> dict:
+        shard = self._owner(document)
+        return self._routed(shard, lambda c: c.delete_subtree(nid))
+
+    def update(self, document: str, action: str, **params: Any) -> dict:
+        """Generic routed update (any ``update`` wire action)."""
+        shard = self._owner(document)
+        return self._routed(
+            shard, lambda c: c.call("update", action=action, **params))
+
+    # ------------------------------------------------------------------
+    # Scatter-gather reads
+    # ------------------------------------------------------------------
+
+    def _target_shards(self, document: str | None) -> list[int]:
+        if document is not None:
+            return [self._owner(document)]
+        shards = sorted({
+            self.manifest.placement[name]
+            for name in self.manifest.doc_order
+        })
+        return shards
+
+    def _scatter(self, shards: list[int], op: str, params) -> dict[int, dict]:
+        """Pipeline one request to every shard, then gather: the sends
+        all go out before the first receive blocks, so the shards
+        evaluate concurrently in their own processes."""
+        sent: dict[int, int] = {}
+        for shard in shards:
+            sent[shard] = self._routed(
+                shard, lambda c, s=shard: c.send(op, **params(s)))
+        results: dict[int, dict] = {}
+        for shard, request_id in sent.items():
+            results[shard] = self._routed(
+                shard,
+                lambda c, rid=request_id: c.receive(rid))
+        return results
+
+    def query(self, xpath: str, document: str | None = None,
+              use_indexes: bool | str = True,
+              view: ClusterView | None = None) -> list[tuple[str, int, int]]:
+        """Scatter the query, gather ``(document, pre, nid)`` rows in
+        global single-engine order (document load order, then pre)."""
+        shards = self._target_shards(document)
+        if not shards:
+            return []
+
+        def params(shard: int) -> dict:
+            p: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes,
+                                 "rows": True}
+            if document is not None:
+                p["document"] = document
+            if view is not None:
+                token = view.token(shard)
+                if token is not None:
+                    p["view"] = token
+            return p
+
+        gathered = self._scatter(shards, "query", params)
+        return self._merge_rows(
+            [(shard, result["rows"]) for shard, result in gathered.items()]
+        )
+
+    def query_pres(self, xpath: str, document: str | None = None,
+                   use_indexes: bool | str = True,
+                   view: ClusterView | None = None) -> list[tuple[str, int]]:
+        """Placement-independent result shape for differential checks."""
+        return [(doc, pre) for doc, pre, _nid in
+                self.query(xpath, document, use_indexes, view=view)]
+
+    def _merge_rows(
+        self, per_shard: list[tuple[int, list]]
+    ) -> list[tuple[str, int, int]]:
+        keys_arrays: list[np.ndarray] = []
+        nids_arrays: list[np.ndarray] = []
+        for _shard, rows in per_shard:
+            if not rows:
+                continue
+            gidx = np.fromiter(
+                (self._doc_index[row[0]] for row in rows),
+                dtype=np.int64, count=len(rows),
+            )
+            pres = np.fromiter((row[1] for row in rows),
+                               dtype=np.int64, count=len(rows))
+            nids = np.fromiter((row[2] for row in rows),
+                               dtype=np.int64, count=len(rows))
+            keys = (gidx << PRE_BITS) | pres
+            order = np.argsort(keys, kind="stable")
+            keys_arrays.append(keys[order])
+            nids_arrays.append(nids[order])
+        if not keys_arrays:
+            return []
+        merged = kway_merge(keys_arrays)
+        out_nids = np.empty(merged.size, dtype=np.int64)
+        for keys, nids in zip(keys_arrays, nids_arrays):
+            # Placements are disjoint, so each shard's keys land in
+            # unique merged slots.
+            out_nids[np.searchsorted(merged, keys)] = nids
+        order = self.manifest.doc_order
+        return [
+            (order[int(key >> PRE_BITS)], int(key & _PRE_MASK), int(nid))
+            for key, nid in zip(merged, out_nids)
+        ]
+
+    def explain(self, xpath: str) -> dict:
+        """Cluster-level explain: a ``ScatterGather`` root with one
+        ``RemotePlan`` child per shard carrying that shard's own plan
+        summary."""
+        shards = self._target_shards(None)
+        gathered = self._scatter(
+            shards, "explain", lambda _shard: {"xpath": xpath})
+        children = tuple(
+            RemotePlan(
+                shard,
+                tuple(self.manifest.documents_on(shard)),
+                summary=gathered[shard]["summary"],
+            )
+            for shard in shards
+        )
+        root = number_plan(ScatterGather(children))
+        return {
+            "summary": render_plan(root),
+            "tree": root.to_dict(),
+            "shards": {
+                shard: gathered[shard] for shard in shards
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Cross-shard read views (two-phase epoch publication)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_view(self, attempts: int = PIN_ATTEMPTS) -> Iterator[ClusterView]:
+        """Pin one consistent epoch vector across every shard.
+
+        Phase one opens a session view per shard; phase two re-reads
+        each shard's published epoch and accepts the vector only when
+        no shard advanced between its pin and the re-read — i.e. there
+        was an instant at which every pinned epoch was current, which
+        (updates being single-shard) makes the vector a consistent
+        cut.  On interference all pins are dropped and both phases
+        retry.
+        """
+        view = self._pin_vector(attempts)
+        try:
+            yield view
+        finally:
+            for shard, (token, _epoch) in view.pins.items():
+                try:
+                    self._client(shard).close_view(token)
+                except (ShardError, ClientError, OSError):
+                    pass  # dead or restarted shard dropped the pin itself
+
+    def _pin_vector(self, attempts: int) -> ClusterView:
+        shards = list(range(self.manifest.shards))
+        for _attempt in range(attempts):
+            pins: dict[int, tuple[int, int]] = {}
+            for shard in shards:
+                opened = self._routed(shard, lambda c: c.open_view())
+                pins[shard] = (opened["view"], opened["epoch"])
+            stable = True
+            for shard in shards:
+                published = self._routed(
+                    shard, lambda c: c.hello())["epoch"]
+                if published != pins[shard][1]:
+                    stable = False
+                    break
+            if stable:
+                return ClusterView(pins)
+            for shard, (token, _epoch) in pins.items():
+                try:
+                    self._client(shard).close_view(token)
+                except (ShardError, ClientError, OSError):
+                    pass
+        raise ShardError(
+            None,
+            f"no consistent epoch vector after {attempts} attempts "
+            "(updates kept landing between pin and verify)",
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict[int, int]:
+        """Checkpoint every shard; returns shard → checkpoint epoch.
+        The sharding manifest is re-saved alongside, so the cluster
+        layout is always at least as new as any shard snapshot."""
+        gathered = self._scatter(
+            list(range(self.manifest.shards)), "checkpoint",
+            lambda _shard: {})
+        self.manifest.save(self.root)
+        return {shard: result["epoch"]
+                for shard, result in gathered.items()}
+
+    def metrics(self) -> dict:
+        """Per-shard metric snapshots plus a numeric aggregate."""
+        gathered = self._scatter(
+            list(range(self.manifest.shards)), "metrics",
+            lambda _shard: {})
+        aggregate: dict = {}
+        for result in gathered.values():
+            _merge_numeric(aggregate, result["metrics"])
+        return {
+            "aggregate": aggregate,
+            "shards": {shard: result["metrics"]
+                       for shard, result in gathered.items()},
+        }
+
+
+def _merge_numeric(into: dict, snapshot: dict) -> None:
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            _merge_numeric(into.setdefault(key, {}), value)
+        elif isinstance(value, bool):
+            into.setdefault(key, value)
+        elif isinstance(value, (int, float)):
+            into[key] = into.get(key, 0) + value
+        else:
+            into.setdefault(key, value)

@@ -29,6 +29,7 @@ import struct
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "FEATURES",
     "MAX_FRAME_BYTES",
     "WireError",
     "encode_frame",
@@ -37,6 +38,8 @@ __all__ = [
     "write_frame",
     "ok_response",
     "error_response",
+    "hello_request",
+    "check_hello",
     "E_BAD_REQUEST",
     "E_UNKNOWN_OP",
     "E_BUSY",
@@ -45,10 +48,18 @@ __all__ = [
     "E_VIEW_INVALID",
     "E_ENGINE",
     "E_INTERNAL",
+    "E_UNSUPPORTED_VERSION",
+    "E_SHARD_DOWN",
 ]
 
 #: Bumped on incompatible protocol changes; exchanged in ``hello``.
 PROTOCOL_VERSION = 1
+
+#: Optional capabilities this protocol version serves.  A client may
+#: name the features it needs in its ``hello``; a server that lacks
+#: any of them answers ``unsupported_version`` instead of failing in
+#: undefined ways mid-session.
+FEATURES = ("views", "rows", "scatter")
 
 #: Upper bound on one frame's body size (16 MiB).
 MAX_FRAME_BYTES = 16 << 20
@@ -64,6 +75,8 @@ E_NO_VIEW = "no_view"              # unknown view token
 E_VIEW_INVALID = "view_invalid"    # pinned view structurally invalidated
 E_ENGINE = "engine"                # engine-level ReproError
 E_INTERNAL = "internal"            # unexpected server-side failure
+E_UNSUPPORTED_VERSION = "unsupported_version"  # hello version/feature mismatch
+E_SHARD_DOWN = "shard_down"        # coordinator: owning shard unreachable
 
 
 class WireError(Exception):
@@ -132,3 +145,31 @@ def error_response(request_id, code: str, message: str, **extra) -> dict:
                 "message": message}
     response.update(extra)
     return response
+
+
+def hello_request(features: tuple[str, ...] | list[str] = ()) -> dict:
+    """Parameters of a version-checked ``hello`` request."""
+    params: dict = {"protocol": PROTOCOL_VERSION}
+    if features:
+        params["features"] = list(features)
+    return params
+
+
+def check_hello(message: dict) -> str | None:
+    """Validate a ``hello`` request against this side's protocol.
+
+    Returns ``None`` when the peer is compatible, else a human-readable
+    reason for an :data:`E_UNSUPPORTED_VERSION` rejection.  A ``hello``
+    carrying **no** ``protocol`` field is accepted — pre-handshake
+    clients never announced one, and the response still advertises the
+    server's version so they can check it themselves.
+    """
+    version = message.get("protocol")
+    if version is not None and version != PROTOCOL_VERSION:
+        return (f"peer speaks protocol {version!r}, this side speaks "
+                f"{PROTOCOL_VERSION}")
+    requested = message.get("features") or []
+    missing = sorted(set(requested) - set(FEATURES))
+    if missing:
+        return f"unsupported features requested: {', '.join(missing)}"
+    return None

@@ -1,0 +1,59 @@
+"""The k-way merge kernel: sorted shard result arrays → global order."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.kernels import kway_merge
+
+
+def _reference(arrays):
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(arrays))
+
+
+class TestKwayMerge:
+    def test_empty_input(self):
+        merged = kway_merge([])
+        assert merged.size == 0
+        assert merged.dtype == np.int64
+
+    def test_all_empty_arrays(self):
+        assert kway_merge([np.empty(0, dtype=np.int64)] * 3).size == 0
+
+    def test_single_array_passthrough(self):
+        a = np.array([1, 5, 9], dtype=np.int64)
+        assert kway_merge([a]).tolist() == [1, 5, 9]
+
+    def test_interleaved_disjoint_arrays(self):
+        arrays = [
+            np.array([0, 6, 12], dtype=np.int64),
+            np.array([2, 8], dtype=np.int64),
+            np.array([1, 7, 13, 14], dtype=np.int64),
+        ]
+        assert kway_merge(arrays).tolist() == [0, 1, 2, 6, 7, 8, 12, 13, 14]
+
+    def test_shard_key_encoding_scale(self):
+        # Keys as the coordinator builds them: doc_index << 40 | pre.
+        keys = [
+            np.array([(0 << 40) | 5, (2 << 40) | 1], dtype=np.int64),
+            np.array([(1 << 40) | 9, (2 << 40) | 2], dtype=np.int64),
+        ]
+        merged = kway_merge(keys)
+        assert (merged >> 40).tolist() == [0, 1, 2, 2]
+        assert (merged & ((1 << 40) - 1)).tolist() == [5, 9, 1, 2]
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 2**50), min_size=0, max_size=40),
+            min_size=0, max_size=7,
+        )
+    )
+    def test_matches_sort_of_concatenation(self, raw):
+        arrays = [np.sort(np.array(part, dtype=np.int64)) for part in raw]
+        merged = kway_merge(arrays)
+        np.testing.assert_array_equal(
+            merged, _reference([a for a in arrays if a.size])
+        )

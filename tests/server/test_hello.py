@@ -1,0 +1,86 @@
+"""Wire-protocol ``hello`` handshake: version + feature negotiation."""
+
+import pytest
+
+from repro import wire
+from repro.client import Client, ClientError
+
+
+class TestCheckHello:
+    def test_no_protocol_field_is_accepted(self):
+        assert wire.check_hello({}) is None
+
+    def test_matching_protocol_accepted(self):
+        assert wire.check_hello({"protocol": wire.PROTOCOL_VERSION}) is None
+
+    def test_mismatched_protocol_rejected(self):
+        reason = wire.check_hello({"protocol": wire.PROTOCOL_VERSION + 1})
+        assert reason is not None
+        assert str(wire.PROTOCOL_VERSION) in reason
+
+    def test_known_features_accepted(self):
+        message = {"protocol": wire.PROTOCOL_VERSION,
+                   "features": list(wire.FEATURES)}
+        assert wire.check_hello(message) is None
+
+    def test_unknown_feature_rejected(self):
+        message = {"protocol": wire.PROTOCOL_VERSION,
+                   "features": ["rows", "time-travel"]}
+        reason = wire.check_hello(message)
+        assert reason is not None
+        assert "time-travel" in reason
+
+    def test_hello_request_shape(self):
+        assert wire.hello_request() == {"protocol": wire.PROTOCOL_VERSION}
+        assert wire.hello_request(("rows",)) == {
+            "protocol": wire.PROTOCOL_VERSION,
+            "features": ["rows"],
+        }
+
+
+class TestServerHandshake:
+    def test_legacy_hello_still_answers(self, served):
+        with Client(served.host, served.port) as client:
+            result = client.hello()
+        assert result["protocol"] == wire.PROTOCOL_VERSION
+        assert result["features"] == list(wire.FEATURES)
+        assert result["documents"] == ["people"]
+
+    def test_handshake_happy_path(self, served):
+        with Client(served.host, served.port) as client:
+            result = client.handshake(features=("rows", "views"))
+        assert result["protocol"] == wire.PROTOCOL_VERSION
+
+    def test_version_mismatch_is_stable_error(self, served):
+        with Client(served.host, served.port) as client:
+            with pytest.raises(ClientError) as info:
+                client.call("hello", protocol=wire.PROTOCOL_VERSION + 1)
+        assert info.value.code == wire.E_UNSUPPORTED_VERSION
+        # The rejection advertises what the server does speak.
+        assert info.value.response["protocol"] == wire.PROTOCOL_VERSION
+
+    def test_unknown_feature_is_stable_error(self, served):
+        with Client(served.host, served.port) as client:
+            with pytest.raises(ClientError) as info:
+                client.handshake(features=("rows", "time-travel"))
+        assert info.value.code == wire.E_UNSUPPORTED_VERSION
+        assert "time-travel" in info.value.message
+
+    def test_connection_survives_rejected_hello(self, served):
+        with Client(served.host, served.port) as client:
+            with pytest.raises(ClientError):
+                client.handshake(features=("time-travel",))
+            assert client.ping() == {}
+
+    def test_client_rejects_newer_server(self, served, monkeypatch):
+        # A server that (hypothetically) accepted our hello but answers
+        # with a different protocol number must be rejected client-side
+        # too.  The server module captured PROTOCOL_VERSION at import,
+        # so patching the wire module shifts only the client's idea of
+        # its own version.
+        monkeypatch.setattr(wire, "PROTOCOL_VERSION",
+                            wire.PROTOCOL_VERSION + 1)
+        with Client(served.host, served.port) as client:
+            with pytest.raises(ClientError) as info:
+                client.handshake()
+        assert info.value.code == wire.E_UNSUPPORTED_VERSION

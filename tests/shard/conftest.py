@@ -1,0 +1,31 @@
+"""Shared fixtures for the shard-per-core suite.
+
+Thread-transport clusters by default: every worker is an in-process
+:class:`~repro.server.ServerThread` over a real
+:class:`~repro.shard.engine.ShardEngine`, which exercises the whole
+wire/coordinator/merge path without process-spawn latency.  The fault
+tests (``tests/concurrent/test_shard_faults.py``) use the process
+transport — a kill has to take down a real OS process.
+"""
+
+import pytest
+
+from repro.shard import ShardCluster
+
+from ..concurrent.harness import fixture_xml
+
+__all__ = ["fixture_xml", "make_cluster"]
+
+
+def make_cluster(tmp_path, shards: int, **kwargs) -> ShardCluster:
+    kwargs.setdefault("transport", "thread")
+    kwargs.setdefault("checkpoint_every", 0)
+    return ShardCluster(str(tmp_path / "cluster"), shards=shards,
+                        **kwargs).start()
+
+
+@pytest.fixture
+def cluster2(tmp_path):
+    cluster = make_cluster(tmp_path, shards=2)
+    yield cluster
+    cluster.stop()

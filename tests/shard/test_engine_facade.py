@@ -1,0 +1,66 @@
+"""The tentpole invariant: ``Database`` is the single-shard deployment
+of ``ShardEngine`` — same API, same on-disk layout, interchangeable."""
+
+from repro.database import Database, RecoveryReport
+from repro.shard.engine import ShardEngine
+
+from ..concurrent.harness import classified_text_nids, fixture_xml
+
+
+class TestFacade:
+    def test_database_is_a_shard_engine(self):
+        assert issubclass(Database, ShardEngine)
+
+    def test_recovery_report_is_shared(self):
+        from repro.shard.engine import RecoveryReport as EngineReport
+
+        assert RecoveryReport is EngineReport
+
+    def test_same_on_disk_layout(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database(path) as db:
+            doc = db.load("people", fixture_xml())
+            nids = classified_text_nids(doc)[0]
+            db.update_text(nids[0], "99")
+        # A Database directory opens as a bare ShardEngine...
+        with ShardEngine(path) as engine:
+            assert engine.query("//p[.//age = 99]")
+            engine.update_text(nids[1], "98")
+        # ... and the engine's writes come back under Database.
+        with Database(path) as db:
+            assert db.query("//p[.//age = 98]")
+
+    def test_engine_defaults_standalone(self, tmp_path):
+        with ShardEngine(str(tmp_path / "s")) as engine:
+            assert engine.shard_id is None
+        with ShardEngine(str(tmp_path / "s2"), shard_id=3) as engine:
+            assert engine.shard_id == 3
+
+
+class TestQueryRows:
+    def test_rows_carry_document_pre_nid(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            db.load("people", fixture_xml())
+            nids = db.query("//p[.//age = 7]")
+            rows = db.query_rows("//p[.//age = 7]")
+        assert [nid for _doc, _pre, nid in rows] == nids
+        assert all(doc == "people" for doc, _pre, _nid in rows)
+        pres = [pre for _doc, pre, _nid in rows]
+        assert pres == sorted(pres)
+
+    def test_rows_follow_document_load_order(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            db.load("zeta", fixture_xml(persons=4))
+            db.load("alpha", fixture_xml(persons=4))
+            rows = db.query_rows("//p")
+        # Load order, not lexicographic order.
+        assert [doc for doc, _pre, _nid in rows] == ["zeta"] * 4 + ["alpha"] * 4
+
+    def test_rows_in_concurrent_mode(self, tmp_path):
+        with Database(str(tmp_path / "db"), concurrent=True,
+                      checkpoint_every=0) as db:
+            db.load("people", fixture_xml())
+            rows = db.query_rows("//p[.//age = 7]")
+            assert rows
+            with db.read_view():
+                assert db.query_rows("//p[.//age = 7]") == rows

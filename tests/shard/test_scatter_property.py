@@ -1,0 +1,95 @@
+"""Cross-shard merge correctness, property style (seeded random).
+
+Random document placements over random shard counts, random queries
+from the evaluation workload — the scatter-gathered result must be
+bit-identical to the single-engine oracle computed per document with
+:func:`repro.query.evaluate_naive`: same ``(document, pre)`` rows, same
+global order (document load order, then pre), and no duplicates across
+the per-shard ``Union`` boundaries.
+"""
+
+import random
+
+import pytest
+
+from repro.query import evaluate_naive, parse_query
+from repro.workloads import DATASETS, QUERY_SETS
+
+from .conftest import make_cluster
+
+#: Corpus of the property rounds (small generator scales).
+_CORPUS_SPECS = [("XMark1", 0.05), ("DBLP", 0.05), ("PSD", 0.05),
+                 ("Wiki", 0.05)]
+
+#: Query pool: every workload query of the corpus datasets.
+_POOL = [
+    (f"{dataset}/{name}", text)
+    for dataset, _scale in _CORPUS_SPECS
+    for name, text in QUERY_SETS[dataset]
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """(name, xml, Document) per dataset — the oracle evaluates on the
+    parsed Document directly, placement-independently."""
+    from repro.core.manager import IndexManager
+
+    manager = IndexManager()
+    out = []
+    for name, scale in _CORPUS_SPECS:
+        xml = DATASETS[name].build(scale)
+        out.append((name, xml, manager.load(name, xml)))
+    return out
+
+
+def _oracle(corpus, order, text):
+    """Naive per-document evaluation in global load order."""
+    path = parse_query(text).path
+    docs = {name: doc for name, _xml, doc in corpus}
+    rows = []
+    for name in order:
+        rows.extend((name, int(pre))
+                    for pre in sorted(evaluate_naive(docs[name], path)))
+    return rows
+
+
+@pytest.mark.parametrize("seed", [1001, 1002, 1003])
+def test_random_placement_matches_oracle(tmp_path, corpus, seed):
+    rng = random.Random(seed)
+    shards = rng.randrange(1, 5)
+    names = [name for name, _xml, _doc in corpus]
+    rng.shuffle(names)
+    cluster = make_cluster(tmp_path, shards=shards)
+    try:
+        placement = {}
+        for name in names:
+            xml = next(x for n, x, _d in corpus if n == name)
+            placement[name] = rng.randrange(shards)
+            cluster.load(name, xml, shard=placement[name])
+        for label, text in rng.sample(_POOL, 8):
+            got = cluster.query_pres(text)
+            expected = _oracle(corpus, names, text)
+            assert got == expected, (
+                f"seed={seed} shards={shards} placement={placement} "
+                f"query={label!r}: scatter-gather diverged from oracle"
+            )
+            assert len(set(got)) == len(got), (
+                f"seed={seed} query={label!r}: duplicate rows across "
+                "the shard Union"
+            )
+    finally:
+        cluster.stop()
+
+
+def test_hash_placement_matches_oracle(tmp_path, corpus):
+    """Default (hash) placement, full query pool, 3 shards."""
+    cluster = make_cluster(tmp_path, shards=3)
+    names = [name for name, _xml, _doc in corpus]
+    try:
+        for name, xml, _doc in corpus:
+            cluster.load(name, xml)
+        for _label, text in _POOL:
+            assert cluster.query_pres(text) == _oracle(corpus, names, text)
+    finally:
+        cluster.stop()
