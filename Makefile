@@ -14,6 +14,9 @@
 #   make shard-test — just the shard-per-core suite: manifest,
 #                  coordinator, scatter-gather properties and the
 #                  kill-one-shard fault case (docs/sharding.md)
+#   make repl-test — just the replication suite: WAL shipping,
+#                  catch-up, failover, time travel
+#                  (docs/replication.md)
 #   make stress  — bounded, seeded reader/writer soak (default 30s;
 #                  tune with STRESS_SECONDS / STRESS_SEED)
 #   make bench   — tier-2: paper experiments + ablations at the default
@@ -29,6 +32,8 @@
 #   make bench-shard — scatter-gather scale-out sweep over shard
 #                  counts, differential-verified against the
 #                  single-engine oracle (emits BENCH_shard_scaleout.json)
+#   make bench-repl — read scale-out over followers + steady-state
+#                  replication lag (emits BENCH_replication.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -36,9 +41,9 @@ REPRO_BENCH_SCALE ?= 0.12
 STRESS_SECONDS ?= 30
 STRESS_SEED ?= 777
 
-.PHONY: test lint faults concurrent serve-test shard-test stress bench \
-	bench-parallel bench-concurrent bench-serve bench-vectorized \
-	bench-shard
+.PHONY: test lint faults concurrent serve-test shard-test repl-test \
+	stress bench bench-parallel bench-concurrent bench-serve \
+	bench-vectorized bench-shard bench-repl
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -59,11 +64,14 @@ serve-test:
 shard-test:
 	$(PYTHON) -m pytest tests/shard tests/concurrent/test_shard_faults.py -q
 
+repl-test:
+	$(PYTHON) -m pytest tests/repl -q
+
 stress:
 	REPRO_STRESS_SECONDS=$(STRESS_SECONDS) REPRO_STRESS_SEED=$(STRESS_SEED) \
 	$(PYTHON) -m pytest tests/concurrent -q -s
 
-test: lint faults concurrent serve-test shard-test
+test: lint faults concurrent serve-test shard-test repl-test
 	$(PYTHON) -m pytest -x -q
 
 bench: bench-vectorized
@@ -86,3 +94,6 @@ bench-vectorized:
 
 bench-shard:
 	$(PYTHON) -m repro.bench.shard
+
+bench-repl:
+	$(PYTHON) -m repro.bench.repl

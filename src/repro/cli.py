@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .core.concurrency import EpochNotRetained
 from .database import Database
 from .errors import ReproError
 from .workloads import DATASETS, collect_stats
@@ -60,7 +61,8 @@ def _open(path: str, parallel: int | str | None = None,
           concurrent: bool = False,
           group_commit: bool = False,
           group_batch_max: int = 32,
-          group_batch_wait_ms: float = 0.0) -> Database:
+          group_batch_wait_ms: float = 0.0,
+          retain_epochs: int = 0) -> Database:
     """Open an existing database (WAL recovery included)."""
     import os
 
@@ -69,7 +71,8 @@ def _open(path: str, parallel: int | str | None = None,
     db = Database(path, parallel=parallel, parallel_backend=parallel_backend,
                   concurrent=concurrent, group_commit=group_commit,
                   group_batch_max=group_batch_max,
-                  group_batch_wait_ms=group_batch_wait_ms)
+                  group_batch_wait_ms=group_batch_wait_ms,
+                  retain_epochs=retain_epochs)
     if db.recovered_records:
         print(f"(recovered {db.recovered_records} update(s) from the WAL)")
     report = db.recovery
@@ -176,7 +179,37 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _parse_addr(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def cmd_query(args) -> int:
+    if args.connect is not None:
+        from .client import Client
+
+        host, port = _parse_addr(args.connect)
+        client = Client(host, port)
+        try:
+            if args.explain:
+                print(client.explain(args.xpath)["summary"])
+            rows = client.query_rows(args.xpath,
+                                     use_indexes=not args.no_index,
+                                     as_of=args.as_of)
+        finally:
+            client.close()
+        suffix = f" as of epoch {args.as_of}" if args.as_of is not None \
+            else ""
+        print(f"{len(rows)} hit(s){suffix}")
+        for doc, pre, nid in rows[: args.limit]:
+            print(f"  [{doc}] pre {pre} (nid {nid})")
+        if len(rows) > args.limit:
+            print(f"  ... and {len(rows) - args.limit} more")
+        return 0
+    if args.db is None:
+        raise ReproError("query needs a DB path or --connect HOST:PORT")
     if _is_cluster(args.db):
         with _open_cluster(args.db) as cluster:
             if args.explain:
@@ -189,12 +222,20 @@ def cmd_query(args) -> int:
         if len(rows) > args.limit:
             print(f"  ... and {len(rows) - args.limit} more")
         return 0
-    manager = _open(args.db)
+    manager = _open(args.db, concurrent=args.as_of is not None)
     if args.explain:
         explanation = manager.explain(args.xpath)
         print(f"plan: {explanation}")
         print(explanation.tree())
-    hits = manager.query(args.xpath, use_indexes=not args.no_index)
+    try:
+        hits = manager.query(args.xpath, use_indexes=not args.no_index,
+                             as_of=args.as_of)
+    except EpochNotRetained as exc:
+        manager.close(checkpoint=False)
+        raise ReproError(
+            f"{exc} (epochs are per-process: as-of queries usually "
+            "target a live server via --connect)"
+        ) from None
     print(f"{len(hits)} hit(s)")
     for nid in hits[: args.limit]:
         print(_describe(manager, nid))
@@ -264,7 +305,8 @@ def cmd_serve(args) -> int:
     db = _open(args.db, concurrent=True,
                group_commit=not args.no_group_commit,
                group_batch_max=args.group_batch_max,
-               group_batch_wait_ms=args.group_batch_wait_ms)
+               group_batch_wait_ms=args.group_batch_wait_ms,
+               retain_epochs=args.retain_epochs)
     try:
         asyncio.run(serve(
             db, args.host, args.port,
@@ -329,7 +371,7 @@ def cmd_shard_init(args) -> int:
 
 def cmd_bench(args) -> int:
     from .bench import concurrent, figure9, figure10, figure11, parallel, \
-        serve, shard, table1
+        repl, serve, shard, table1
 
     module = {
         "table1": table1,
@@ -340,6 +382,7 @@ def cmd_bench(args) -> int:
         "concurrent": concurrent,
         "serve": serve,
         "shard": shard,
+        "repl": repl,
     }[args.experiment]
     module.main()
     return 0
@@ -381,11 +424,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("query", help="evaluate an XPath query")
-    p.add_argument("db")
+    p.add_argument("db", nargs="?", default=None,
+                   help="database directory (omit with --connect)")
     p.add_argument("xpath")
     p.add_argument("--no-index", action="store_true")
     p.add_argument("--explain", action="store_true")
     p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--as-of", type=int, default=None, dest="as_of",
+                   metavar="EPOCH",
+                   help="time-travel: answer at a retained epoch "
+                        "(docs/replication.md)")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="query a live server instead of opening a "
+                        "directory")
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("lookup", help="direct index lookups")
@@ -440,6 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=None,
                    help="serve a shard cluster: one engine process per "
                         "shard (docs/sharding.md)")
+    p.add_argument("--retain-epochs", type=int, default=0,
+                   dest="retain_epochs",
+                   help="time-travel window for as_of queries "
+                        "(docs/replication.md)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -459,7 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
                    choices=["table1", "figure9", "figure10", "figure11",
-                            "parallel", "concurrent", "serve", "shard"])
+                            "parallel", "concurrent", "serve", "shard",
+                            "repl"])
     p.set_defaults(fn=cmd_bench)
     return parser
 

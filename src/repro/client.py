@@ -130,17 +130,21 @@ class Client:
 
     def query(self, xpath: str, document: str | None = None,
               use_indexes: bool | str = True,
-              view: int | None = None) -> list[int]:
+              view: int | None = None,
+              as_of: int | None = None) -> list[int]:
         params: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes}
         if document is not None:
             params["document"] = document
         if view is not None:
             params["view"] = view
+        if as_of is not None:
+            params["as_of"] = as_of
         return self.call("query", **params)["nids"]
 
     def query_rows(self, xpath: str, document: str | None = None,
                    use_indexes: bool | str = True,
-                   view: int | None = None) -> list[list]:
+                   view: int | None = None,
+                   as_of: int | None = None) -> list[list]:
         """Query returning ``[document, pre, nid]`` rows (the
         placement-independent shape the shard coordinator merges)."""
         params: dict[str, Any] = {"xpath": xpath, "use_indexes": use_indexes,
@@ -149,7 +153,14 @@ class Client:
             params["document"] = document
         if view is not None:
             params["view"] = view
+        if as_of is not None:
+            params["as_of"] = as_of
         return self.call("query", **params)["rows"]
+
+    def epochs(self) -> dict:
+        """The server's retained time-travel window: ``epochs`` (oldest
+        first) and ``current`` (docs/replication.md)."""
+        return self.call("epochs")
 
     def lookup(self, mode: str, **params: Any) -> list[int]:
         return self.call("lookup", mode=mode, **params)["nids"]

@@ -30,6 +30,7 @@ operation: a manager without a controller behaves exactly as before.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -41,12 +42,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ConcurrencyController",
+    "EpochNotRetained",
     "ManagerSnapshot",
     "ReadView",
     "ReadWriteLatch",
     "SessionPin",
     "active_view",
 ]
+
+
+class EpochNotRetained(LookupError):
+    """An ``as_of`` epoch outside the retained time-travel window."""
 
 _tls = threading.local()
 
@@ -294,6 +300,10 @@ class ConcurrencyController:
         #: checkpoints, which drain readers but change no state);
         #: session pins capture it to detect invalidation.
         self.structural_epoch = 0
+        #: Time-travel window: how many published snapshots to retain
+        #: for "as of" reads (0 = none; set via :meth:`set_retention`).
+        self.retain_epochs = 0
+        self._retained: deque[ManagerSnapshot] = deque()
         self._published = self._capture()
         self._attach_overlays()
 
@@ -313,6 +323,7 @@ class ConcurrencyController:
         snapshot = self._capture()
         with self._state_lock:
             self._published = snapshot
+            self._retain_locked(snapshot)
         self._attach_overlays()
         self.prune_overlays()
         self.manager.metrics.counter("concurrency.publishes").inc()
@@ -320,6 +331,67 @@ class ConcurrencyController:
     def published(self) -> ManagerSnapshot:
         with self._state_lock:
             return self._published
+
+    # -- time-travel retention -------------------------------------------
+
+    def _retain_locked(self, snapshot: ManagerSnapshot) -> None:
+        if self.retain_epochs <= 0:
+            return
+        if self._retained and self._retained[-1].epoch == snapshot.epoch:
+            # Drain-only publishes (checkpoints) re-publish the same
+            # epoch with fresh tree pins; keep one entry per epoch.
+            self._retained[-1] = snapshot
+        else:
+            self._retained.append(snapshot)
+        while len(self._retained) > self.retain_epochs:
+            self._retained.popleft()
+
+    def set_retention(self, epochs: int) -> None:
+        """Size the retained-epoch window for "as of" reads.
+
+        The currently published snapshot seeds the window so "as of
+        now" is immediately answerable.  Shrinking (or zeroing) drops
+        the oldest retained snapshots; the next prune reclaims their
+        overlay versions.
+        """
+        with self._state_lock:
+            self.retain_epochs = max(0, int(epochs))
+            if self.retain_epochs == 0:
+                self._retained.clear()
+            else:
+                self._retain_locked(self._published)
+
+    def retained_epochs(self) -> list[int]:
+        """Epochs currently answerable by :meth:`read_view_as_of`,
+        oldest first (always includes the published epoch)."""
+        with self._state_lock:
+            epochs = [snap.epoch for snap in self._retained]
+            if not epochs or epochs[-1] != self._published.epoch:
+                epochs.append(self._published.epoch)
+        return epochs
+
+    def snapshot_as_of(self, epoch: int) -> ManagerSnapshot:
+        """The retained snapshot published at ``epoch``.
+
+        Raises :class:`EpochNotRetained` when that epoch is not in the
+        retained window (never published, already evicted, or
+        invalidated by a structural operation).
+        """
+        with self._state_lock:
+            if epoch == self._published.epoch:
+                return self._published
+            for snap in reversed(self._retained):
+                if snap.epoch == epoch:
+                    return snap
+            retained = [s.epoch for s in self._retained]
+        raise EpochNotRetained(
+            f"epoch {epoch} is not retained "
+            f"(window: {retained or [self.published().epoch]})"
+        )
+
+    def read_view_as_of(self, epoch: int) -> ReadView:
+        """A view pinned at a *retained* historical epoch."""
+        return ReadView(self, at=self.snapshot_as_of(epoch))
 
     def _attach_overlays(self) -> None:
         for doc in self.manager.store.documents.values():
@@ -411,6 +483,12 @@ class ConcurrencyController:
         with self._state_lock:
             oldest = min(self._pins.values()) if self._pins else None
             published = self._published.epoch
+            if self._retained:
+                # Retained snapshots are implicit pins: an "as of"
+                # reader may still resolve text at the oldest one.
+                retained = self._retained[0].epoch
+                oldest = retained if oldest is None else min(oldest,
+                                                             retained)
         bound = published if oldest is None else min(oldest, published)
         for doc in self.manager.store.documents.values():
             overlay = doc.text_overlay
@@ -466,6 +544,11 @@ class ConcurrencyController:
                 if structural:
                     with self._state_lock:
                         self.structural_epoch += 1
+                        # In-place column splices invalidate every
+                        # retained snapshot, exactly as they do session
+                        # pins; drop the time-travel window rather than
+                        # serve torn history.
+                        self._retained.clear()
                 self.publish()
 
     # -- view statistics -------------------------------------------------

@@ -1,0 +1,27 @@
+"""Log-shipping replication: primary → follower over the wire protocol.
+
+The CRC-framed, epoch-stamped WAL (docs/durability.md) is already a
+replication stream; this package ships it:
+
+* :mod:`repro.repl.primary` — stateless server-side handlers behind
+  the ``repl.manifest`` / ``repl.fetch`` / ``repl.wal`` ops: expose
+  the committed checkpoint snapshot for initial sync and serve
+  complete WAL frames from a byte cursor for tailing.
+* :mod:`repro.repl.follower` — :class:`Follower` restores the
+  snapshot into its own directory, replays shipped frames through the
+  engine's *logged* update path (so promotion recovers via ordinary
+  WAL replay) and keeps tailing on a poll thread;
+  :class:`FollowerServer` serves snapshot-isolated reads locally and
+  proxies updates to the primary until :meth:`Follower.promote`.
+* :mod:`repro.repl.fanout` — :class:`ReplicaSet`, the client-side
+  read scale-out: reads round-robin over followers, writes go to the
+  primary.
+
+``docs/replication.md`` is the protocol and semantics spec;
+``repro.bench.repl`` measures the read-scale-out and lag claims.
+"""
+
+from .fanout import ReplicaSet
+from .follower import Follower, FollowerServer
+
+__all__ = ["Follower", "FollowerServer", "ReplicaSet"]

@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
 
 from . import wire
+from .core.concurrency import EpochNotRetained
 from .database import Database
 from .errors import ReproError
 from .wire import (
@@ -47,6 +48,7 @@ from .wire import (
     E_BUSY,
     E_ENGINE,
     E_INTERNAL,
+    E_NO_EPOCH,
     E_NO_VIEW,
     E_SHUTTING_DOWN,
     E_UNKNOWN_OP,
@@ -129,6 +131,7 @@ class DatabaseServer:
         self._server: asyncio.base_events.Server | None = None
         self._sessions: set[_Session] = set()
         self._inflight: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
         self._next_session = 1
         #: Exception raised while closing the database during drain
         #: (e.g. a poisoned group-commit log re-raising its crash);
@@ -180,6 +183,12 @@ class DatabaseServer:
         if self._inflight:
             await asyncio.gather(*tuple(self._inflight),
                                  return_exceptions=True)
+        # Hang up on idle peers (replication followers tail over
+        # long-lived connections); their handler loops then exit at a
+        # clean frame boundary instead of being cancelled mid-read
+        # when the event loop shuts down.
+        for conn_writer in tuple(self._conn_writers):
+            conn_writer.close()
         loop = asyncio.get_running_loop()
         try:
             await loop.run_in_executor(self._write_pool, self._close_db)
@@ -206,6 +215,7 @@ class DatabaseServer:
         session = _Session(self._next_session)
         self._next_session += 1
         self._sessions.add(session)
+        self._conn_writers.add(writer)
         self._metrics.counter("server.connections").inc()
         try:
             while True:
@@ -228,6 +238,7 @@ class DatabaseServer:
         finally:
             self._release_session(session)
             self._sessions.discard(session)
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -261,6 +272,9 @@ class DatabaseServer:
             response = wire.error_response(
                 request_id, exc.code, exc.message, **exc.extra
             )
+        except EpochNotRetained as exc:
+            self._metrics.counter(f"server.errors.{E_NO_EPOCH}").inc()
+            response = wire.error_response(request_id, E_NO_EPOCH, str(exc))
         except ReproError as exc:
             self._metrics.counter("server.errors.engine").inc()
             response = wire.error_response(request_id, E_ENGINE, str(exc))
@@ -360,22 +374,27 @@ class DatabaseServer:
         text = self._require(message, "xpath")
         document = message.get("document")
         use_indexes = message.get("use_indexes", True)
+        as_of = message.get("as_of")
         if use_indexes not in (True, False, "auto"):
             raise RequestError(
                 E_BAD_REQUEST, "use_indexes must be true, false or 'auto'"
             )
+        if as_of is not None and not isinstance(as_of, int):
+            raise RequestError(E_BAD_REQUEST, "as_of must be an epoch int")
         if message.get("rows"):
             # Scatter-gather shape: (document, pre, nid) rows — pre
             # addresses survive re-placement, bare nids don't.  The
             # engine maps rows at the same pinned epoch it evaluates.
             rows = await self._run_read(
                 session, message,
-                lambda: self.db.query_rows(text, document, use_indexes),
+                lambda: self.db.query_rows(text, document, use_indexes,
+                                           as_of=as_of),
             )
             return {"rows": [list(row) for row in rows]}
         nids = await self._run_read(
             session, message,
-            lambda: self.db.query(text, document, use_indexes),
+            lambda: self.db.query(text, document, use_indexes,
+                                  as_of=as_of),
         )
         return {"nids": nids}
 
@@ -510,6 +529,52 @@ class DatabaseServer:
         await self._run_update(self.db.checkpoint)
         return {"epoch": self.db.checkpoint_epoch}
 
+    async def _op_epochs(self, session, message) -> dict:
+        """The retained time-travel window (docs/replication.md)."""
+        return {
+            "epochs": self.db.retained_epochs(),
+            "current": self._controller.published().epoch,
+        }
+
+    # -- replication (primary side; see repro.repl.primary) -------------
+
+    async def _op_repl_manifest(self, session, message) -> dict:
+        from .repl import primary as repl_primary
+
+        return await self._run_read(
+            session, message, lambda: repl_primary.manifest_info(self.db)
+        )
+
+    async def _op_repl_fetch(self, session, message) -> dict:
+        from .repl import primary as repl_primary
+
+        name = self._require(message, "name")
+        offset = int(message.get("offset", 0))
+        length = int(message.get("length", repl_primary.DEFAULT_CHUNK))
+
+        def call():
+            try:
+                return repl_primary.fetch_chunk(self.db, name, offset,
+                                                length)
+            except (ValueError, FileNotFoundError) as exc:
+                raise RequestError(E_BAD_REQUEST, str(exc)) from exc
+
+        return await self._run_read(session, message, call)
+
+    async def _op_repl_wal(self, session, message) -> dict:
+        from .repl import primary as repl_primary
+
+        epoch = int(self._require(message, "epoch"))
+        offset = int(self._require(message, "offset"))
+        max_bytes = int(
+            message.get("max_bytes", repl_primary.DEFAULT_CHUNK)
+        )
+        return await self._run_read(
+            session, message,
+            lambda: repl_primary.wal_chunk(self.db, epoch, offset,
+                                           max_bytes),
+        )
+
     _OPS: dict[str, Callable[..., Awaitable[dict]]] = {
         "hello": _op_hello,
         "ping": _op_ping,
@@ -523,6 +588,10 @@ class DatabaseServer:
         "view.close": _op_view_close,
         "metrics": _op_metrics,
         "checkpoint": _op_checkpoint,
+        "epochs": _op_epochs,
+        "repl.manifest": _op_repl_manifest,
+        "repl.fetch": _op_repl_fetch,
+        "repl.wal": _op_repl_wal,
     }
 
 
@@ -531,11 +600,13 @@ class ServerThread:
 
     Test/bench support: owns a private event loop on a daemon thread,
     exposes the bound address after :meth:`start`, and :meth:`stop`
-    triggers the graceful drain from any thread.
+    triggers the graceful drain from any thread.  ``server_cls``
+    swaps in a :class:`DatabaseServer` subclass (the replication
+    follower proxies update ops through one).
     """
 
-    def __init__(self, db: Database, **kwargs):
-        self.server = DatabaseServer(db, **kwargs)
+    def __init__(self, db: Database, server_cls=None, **kwargs):
+        self.server = (server_cls or DatabaseServer)(db, **kwargs)
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None

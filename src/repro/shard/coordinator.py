@@ -595,23 +595,29 @@ class ShardCluster:
         shards = list(range(self.manifest.shards))
         for _attempt in range(attempts):
             pins: dict[int, tuple[int, int]] = {}
-            for shard in shards:
-                opened = self._routed(shard, lambda c: c.open_view())
-                pins[shard] = (opened["view"], opened["epoch"])
-            stable = True
-            for shard in shards:
-                published = self._routed(
-                    shard, lambda c: c.hello())["epoch"]
-                if published != pins[shard][1]:
-                    stable = False
-                    break
+            stable = False
+            try:
+                for shard in shards:
+                    opened = self._routed(shard, lambda c: c.open_view())
+                    pins[shard] = (opened["view"], opened["epoch"])
+                stable = all(
+                    self._routed(shard, lambda c: c.hello())["epoch"]
+                    == pins[shard][1]
+                    for shard in shards
+                )
+            finally:
+                # Drop accumulated pins on interference AND when a
+                # later shard's open_view/hello raised mid-loop — a
+                # leaked pin on a surviving shard wedges its overlay
+                # pruning until that process exits.
+                if not stable:
+                    for shard, (token, _epoch) in pins.items():
+                        try:
+                            self._client(shard).close_view(token)
+                        except (ShardError, ClientError, OSError):
+                            pass
             if stable:
                 return ClusterView(pins)
-            for shard, (token, _epoch) in pins.items():
-                try:
-                    self._client(shard).close_view(token)
-                except (ShardError, ClientError, OSError):
-                    pass
         raise ShardError(
             None,
             f"no consistent epoch vector after {attempts} attempts "

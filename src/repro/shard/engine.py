@@ -108,6 +108,11 @@ class ShardEngine:
         shard_id: Position of this shard in a cluster (``None`` when
             the engine runs stand-alone, as under
             :class:`repro.database.Database`).
+        retain_epochs: Time-travel window — keep this many published
+            MVCC snapshots so :meth:`query` can answer ``as_of`` a
+            historical epoch (requires ``concurrent``; 0 disables —
+            see docs/replication.md).  Epochs are process-lifetime:
+            a restart starts the window fresh.
     """
 
     def __init__(
@@ -125,9 +130,15 @@ class ShardEngine:
         group_batch_max: int = 32,
         group_batch_wait_ms: float = 0.0,
         shard_id: int | None = None,
+        retain_epochs: int = 0,
     ):
         self.path = path
         self.shard_id = shard_id
+        #: Bumped by every load/unload.  Those force checkpoints and
+        #: are NOT WAL-logged, so a log shipper cannot see them in the
+        #: frame stream; the stamp travels in the replication manifest
+        #: instead and forces followers into a full resync.
+        self.bulk_stamp = 0
         self._checkpoint_every = checkpoint_every
         self._pending = 0
         self._pending_lock = threading.Lock()
@@ -184,8 +195,12 @@ class ShardEngine:
         # Concurrency is enabled only after recovery: replay is
         # single-threaded by construction.
         self._group: GroupCommitLog | None = None
+        if retain_epochs and not (concurrent or group_commit):
+            raise ValueError("retain_epochs requires concurrent=True")
         if concurrent or group_commit:
             self.manager.enable_concurrency()
+            if retain_epochs:
+                self.manager.concurrency.set_retention(retain_epochs)
         if group_commit:
             self._group = GroupCommitLog(
                 self._wal,
@@ -294,11 +309,13 @@ class ShardEngine:
         """Shred + index a document; forces a checkpoint (bulk loads
         are snapshot-sized events, not log records)."""
         doc = self.manager.load(name, xml)
+        self.bulk_stamp += 1
         self.checkpoint()
         return doc
 
     def unload(self, name: str) -> None:
         self.manager.unload(name)
+        self.bulk_stamp += 1
         self.checkpoint()
 
     @property
@@ -351,6 +368,20 @@ class ShardEngine:
             WalRecord(RENAME, nid, name=new_name),
         )
 
+    def apply_logged(self, record: WalRecord):
+        """Apply a shipped WAL record through the *logged* update path.
+
+        A replication follower replays the primary's frames with this:
+        the record lands in the follower's own WAL (re-stamped with the
+        follower's checkpoint epoch), so a promoted follower recovers
+        through ordinary WAL replay like any other engine.
+        """
+        return self._logged(
+            lambda: self._apply(record),
+            WalRecord(record.kind, record.nid, text=record.text,
+                      name=record.name, extra=record.extra),
+        )
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
@@ -361,9 +392,31 @@ class ShardEngine:
         run at the pinned epoch."""
         return self.manager.read_view()
 
+    def _as_of_view(self, as_of: int):
+        controller = self.manager.concurrency
+        if controller is None:
+            raise ValueError(
+                "as_of queries require concurrent=True and retain_epochs"
+            )
+        return controller.read_view_as_of(as_of)
+
+    def retained_epochs(self) -> list[int]:
+        """Epochs answerable with ``as_of`` right now (oldest first;
+        always includes the current epoch).  Empty window unless the
+        engine was opened with ``retain_epochs``."""
+        controller = self.manager.concurrency
+        if controller is None:
+            return [self.manager.epoch]
+        return controller.retained_epochs()
+
     def query(self, text: str, document: str | None = None,
               use_indexes: bool | str = True,
-              vectorized: bool | None = None) -> list[int]:
+              vectorized: bool | None = None,
+              as_of: int | None = None) -> list[int]:
+        if as_of is not None:
+            with self._as_of_view(as_of):
+                return _query(self.manager, text, document, use_indexes,
+                              vectorized=vectorized)
         controller = self.manager.concurrency
         if controller is not None and active_view() is None:
             # Auto-pin: the whole evaluation runs at one epoch.
@@ -375,7 +428,8 @@ class ShardEngine:
 
     def query_rows(self, text: str, document: str | None = None,
                    use_indexes: bool | str = True,
-                   vectorized: bool | None = None) -> list[tuple[str, int, int]]:
+                   vectorized: bool | None = None,
+                   as_of: int | None = None) -> list[tuple[str, int, int]]:
         """Like :meth:`query`, but returns ``(document, pre, nid)``
         rows instead of bare nids.
 
@@ -385,6 +439,10 @@ class ShardEngine:
         differential suite compares bit-for-bit.  Mapping runs at the
         same pinned epoch as the evaluation.
         """
+        if as_of is not None:
+            with self._as_of_view(as_of):
+                return self._rows_of(self.query(
+                    text, document, use_indexes, vectorized=vectorized))
         controller = self.manager.concurrency
         if controller is not None and active_view() is None:
             with controller.read_view():

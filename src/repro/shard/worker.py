@@ -86,6 +86,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=10_000)
     parser.add_argument("--no-group-commit", action="store_true",
                         help="serve with plain concurrent WAL appends")
+    parser.add_argument("--retain-epochs", type=int, default=0,
+                        help="time-travel window for as_of queries "
+                             "(docs/replication.md)")
     parser.add_argument("--kill-at", default=None, metavar="POINT[:OCC]",
                         help="os._exit at the OCCth hit of crashpoint POINT")
     parser.add_argument("--kill-keep-bytes", type=int, default=None,
@@ -106,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         concurrent=True,
         group_commit=not args.no_group_commit,
         shard_id=args.shard_id,
+        retain_epochs=args.retain_epochs,
     )
 
     async def run() -> None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import struct
+import sys
 import zlib
 from dataclasses import dataclass, replace
 from typing import BinaryIO, Iterator
@@ -51,8 +52,11 @@ __all__ = [
     "DELETE_ATTRIBUTE",
     "RENAME",
     "WAL_VERSION",
+    "WAL_HEADER_SIZE",
     "WriteAheadLog",
     "replay_records",
+    "decode_frames",
+    "tail_frames",
 ]
 
 TEXT_UPDATE = 1
@@ -73,6 +77,10 @@ _KNOWN_TYPES = {
 
 #: Header version marking a CRC-framed log body.
 WAL_VERSION = 2
+
+#: Bytes of the ``RXDB`` header that precede the first frame — the
+#: start-of-stream offset a log shipper's cursor begins at.
+WAL_HEADER_SIZE = 8
 
 _FRAME = struct.Struct("<II")
 
@@ -177,6 +185,11 @@ class WriteAheadLog:
         self._sync = sync
         self._metrics = metrics
         self.epoch = epoch
+        #: ``(epoch, final_size)`` of the previous log file at its last
+        #: :meth:`truncate` — lets a log shipper prove a follower had
+        #: consumed the old file completely before switching it to the
+        #: fresh one (see ``repro.repl``).
+        self.last_truncate: tuple[int, int] | None = None
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self.needs_upgrade = False
         if not fresh:
@@ -191,6 +204,8 @@ class WriteAheadLog:
             self._flush()
 
     def _flush(self) -> None:
+        if self._fh.closed:
+            return  # idempotent close/flush: nothing left to sync
         self._fh.flush()
         if self._sync == "fsync":
             os.fsync(self._fh.fileno())
@@ -243,7 +258,10 @@ class WriteAheadLog:
             faults.crashpoint("wal.appended")
         finally:
             if timer is not None:
-                timer.__exit__(None, None, None)
+                # Forward the real exception triple (mirrors the
+                # ReadView.__exit__ fix): a crashed write must not be
+                # recorded as a successful append timing.
+                timer.__exit__(*sys.exc_info())
         if self._metrics is not None:
             self._metrics.counter("wal.appends").inc(len(records))
 
@@ -254,6 +272,12 @@ class WriteAheadLog:
         empty header after a crash would replay as "no log at all",
         which is safe, but the file must never look like the *old* log).
         """
+        self._flush()
+        try:
+            final_size = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - fresh file races only
+            final_size = WAL_HEADER_SIZE
+        self.last_truncate = (self.epoch, final_size)
         if epoch is not None:
             self.epoch = epoch
         self._fh.close()
@@ -267,7 +291,26 @@ class WriteAheadLog:
         if self._metrics is not None:
             self._metrics.counter("wal.truncates").inc()
 
+    def position(self) -> int:
+        """Byte offset of the current end of the visible log.
+
+        This is the cursor a log shipper resumes from: everything
+        before it is complete, flushed frames (when ``sync`` is not
+        ``"none"``, in which case buffered bytes may still be pending —
+        shipping then lags the buffer, never races it).
+        """
+        try:
+            return os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - log removed underneath us
+            return WAL_HEADER_SIZE
+
     def close(self) -> None:
+        """Flush and release the handle.  Idempotent: a second close
+        (e.g. the drain path after a failed checkpoint already closed
+        the log) is a no-op instead of ``ValueError: I/O operation on
+        closed file``."""
+        if self._fh.closed:
+            return
         self._flush()
         self._fh.close()
 
@@ -312,6 +355,60 @@ def _replay_legacy(payload: bytes, stats: ReplayStats) -> Iterator[WalRecord]:
             return  # torn final record from a crash mid-append
         stats.records += 1
         yield record
+
+
+def _frame_boundary(payload: bytes) -> int:
+    """Length of the longest prefix of ``payload`` made of complete
+    frames (by length prefix; CRCs are the receiver's job)."""
+    offset = 0
+    size = len(payload)
+    while offset + _FRAME.size <= size:
+        length, _crc = _FRAME.unpack_from(payload, offset)
+        if offset + _FRAME.size + length > size:
+            break
+        offset += _FRAME.size + length
+    return offset
+
+
+def tail_frames(path: str, offset: int,
+                max_bytes: int = 1 << 22) -> tuple[bytes, int]:
+    """Read complete frames from a live version-2 log for shipping.
+
+    Returns ``(blob, next_offset)`` where ``blob`` holds zero or more
+    whole frames starting at ``offset`` and ``next_offset`` is where
+    the next call should resume.  A concurrent append can leave a
+    half-visible frame at the end of the file; it is trimmed here so a
+    shipped blob always decodes cleanly — the torn bytes are re-read
+    once the writer finishes them.  Offsets are only meaningful against
+    one log incarnation (checkpoint epoch); :class:`WriteAheadLog`
+    truncation invalidates them, which the shipper detects via the
+    epoch carried alongside (see ``repro.repl``).
+    """
+    if offset < WAL_HEADER_SIZE:
+        offset = WAL_HEADER_SIZE
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        chunk = fh.read(max_bytes)
+    consumed = _frame_boundary(chunk)
+    return chunk[:consumed], offset + consumed
+
+
+def decode_frames(blob: bytes) -> list[WalRecord]:
+    """Decode a shipped blob of complete frames into records.
+
+    Unlike local replay, a torn or CRC-rejected frame here means the
+    transport delivered damaged data — that is an error, not a clean
+    end of log, so it raises :class:`FormatError` instead of silently
+    truncating the batch.
+    """
+    stats = ReplayStats()
+    records = list(_replay_framed(blob, stats))
+    if stats.torn_tail or stats.rejected_crc:
+        raise FormatError(
+            "damaged replication frame "
+            f"(torn={stats.torn_tail} crc={stats.rejected_crc})"
+        )
+    return records
 
 
 def replay_records(path: str,

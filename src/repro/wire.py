@@ -50,6 +50,7 @@ __all__ = [
     "E_INTERNAL",
     "E_UNSUPPORTED_VERSION",
     "E_SHARD_DOWN",
+    "E_NO_EPOCH",
 ]
 
 #: Bumped on incompatible protocol changes; exchanged in ``hello``.
@@ -59,7 +60,7 @@ PROTOCOL_VERSION = 1
 #: name the features it needs in its ``hello``; a server that lacks
 #: any of them answers ``unsupported_version`` instead of failing in
 #: undefined ways mid-session.
-FEATURES = ("views", "rows", "scatter")
+FEATURES = ("views", "rows", "scatter", "replication", "as_of")
 
 #: Upper bound on one frame's body size (16 MiB).
 MAX_FRAME_BYTES = 16 << 20
@@ -77,6 +78,7 @@ E_ENGINE = "engine"                # engine-level ReproError
 E_INTERNAL = "internal"            # unexpected server-side failure
 E_UNSUPPORTED_VERSION = "unsupported_version"  # hello version/feature mismatch
 E_SHARD_DOWN = "shard_down"        # coordinator: owning shard unreachable
+E_NO_EPOCH = "epoch_not_retained"  # as_of epoch outside the retained window
 
 
 class WireError(Exception):

@@ -1,0 +1,75 @@
+"""Shared fixtures for the replication tests: a live primary server
+plus helpers to grow followers against it and wait for convergence."""
+
+import time
+
+import pytest
+
+from repro.database import Database
+from repro.repl import Follower
+from repro.server import ServerThread
+
+from ..concurrent.harness import classified_text_nids, fixture_xml
+
+
+def wait_until(predicate, timeout: float = 15.0, interval: float = 0.01,
+               message: str = "condition"):
+    """Poll ``predicate`` until truthy; the value is returned."""
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(interval)
+
+
+class Primary:
+    """A concurrent database behind a server thread, fixture loaded."""
+
+    def __init__(self, tmp_path, **db_kwargs):
+        db_kwargs.setdefault("typed", ("double",))
+        db_kwargs.setdefault("checkpoint_every", 0)
+        db_kwargs.setdefault("concurrent", True)
+        self.db = Database(str(tmp_path / "primary"), **db_kwargs)
+        self.doc = self.db.load("people", fixture_xml())
+        self.age_nids, self.name_nids = classified_text_nids(self.doc)
+        self.thread = ServerThread(self.db)
+        self.host, self.port = self.thread.start()
+        self.addr = (self.host, self.port)
+        self._stopped = False
+
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.thread.stop()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    box = Primary(tmp_path)
+    yield box
+    box.stop()
+
+
+@pytest.fixture
+def make_follower(tmp_path, primary):
+    """Factory for followers of the ``primary`` fixture; all closed on
+    teardown."""
+    followers = []
+
+    def build(name: str = "follower", start: bool = False,
+              **kwargs) -> Follower:
+        kwargs.setdefault("poll_interval", 0.005)
+        follower = Follower(str(tmp_path / name), primary.addr, **kwargs)
+        followers.append(follower)
+        if start:
+            follower.start()
+        else:
+            follower.sync()
+        return follower
+
+    yield build
+    for follower in followers:
+        follower.close()

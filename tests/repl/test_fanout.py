@@ -1,0 +1,104 @@
+"""ReplicaSet routing: reads spread over followers, writes hit the
+primary, dead followers are quarantined, real errors pass through."""
+
+import pytest
+
+from repro.client import ClientError
+from repro.repl import FollowerServer, ReplicaSet
+
+from .conftest import wait_until
+
+
+def _queries(engine) -> int:
+    return engine.metrics()["counters"].get("query.executed", 0)
+
+
+@pytest.fixture
+def pair(primary, make_follower):
+    """Two serving followers of ``primary``; yields their servers."""
+    servers = []
+    for i in range(2):
+        follower = make_follower(name=f"f{i}", start=True)
+        server = FollowerServer(follower)
+        servers.append((server, server.start()))
+    yield servers
+    for server, _addr in servers:
+        server.stop()
+
+
+def test_reads_round_robin_over_followers(primary, pair):
+    replica_set = ReplicaSet(primary.addr,
+                             [addr for _s, addr in pair])
+    try:
+        before = _queries(primary.db)
+        counts = [_queries(server.follower.engine)
+                  for server, _addr in pair]
+        for _ in range(8):
+            assert replica_set.query("//p[.//age = 3]")
+        # All eight reads were served by follower engines, 4 each.
+        assert _queries(primary.db) == before
+        for (server, _addr), count in zip(pair, counts):
+            assert _queries(server.follower.engine) >= count + 4
+    finally:
+        replica_set.close()
+
+
+def test_writes_route_to_primary_and_replicate(primary, pair):
+    replica_set = ReplicaSet(primary.addr,
+                             [addr for _s, addr in pair])
+    try:
+        replica_set.update_text(primary.age_nids[0], "2024")
+        assert len(primary.db.query("//p[.//age = 2024]")) == 1
+        wait_until(
+            lambda: all(
+                server.follower.engine.query("//p[.//age = 2024]")
+                for server, _addr in pair
+            ),
+            message="write to reach both followers",
+        )
+        assert replica_set.query("//p[.//age = 2024]")
+    finally:
+        replica_set.close()
+
+
+def test_dead_follower_is_quarantined(primary, pair):
+    replica_set = ReplicaSet(primary.addr,
+                             [addr for _s, addr in pair])
+    try:
+        assert replica_set.query("//p[.//age = 3]")
+        dead_server, _addr = pair[0]
+        dead_server.stop()
+        # Every read still answers: the dead member fails over to the
+        # survivor (or the primary) and stays out of rotation.
+        for _ in range(6):
+            assert replica_set.query("//p[.//age = 3]")
+        assert replica_set._dead
+    finally:
+        replica_set.close()
+
+
+def test_primary_reads_pin_the_primary(primary, pair):
+    replica_set = ReplicaSet(primary.addr,
+                             [addr for _s, addr in pair],
+                             primary_reads=True)
+    try:
+        counts = [_queries(server.follower.engine)
+                  for server, _addr in pair]
+        for _ in range(5):
+            assert replica_set.query("//p[.//age = 3]")
+        assert counts == [_queries(server.follower.engine)
+                          for server, _addr in pair]
+    finally:
+        replica_set.close()
+
+
+def test_real_errors_are_not_retried(primary, pair):
+    replica_set = ReplicaSet(primary.addr,
+                             [addr for _s, addr in pair])
+    try:
+        with pytest.raises(ClientError) as excinfo:
+            replica_set.query("//p[.//age ==== 3]")
+        assert excinfo.value.code not in ("disconnected", "shutting_down")
+        assert not replica_set._dead  # a bad query is not a dead member
+    finally:
+        replica_set.close()

@@ -124,6 +124,48 @@ class TestClusterViews:
                                        view=view) == []
 
 
+    def test_pin_vector_failure_releases_partial_pins(self, cluster2):
+        """Regression: a mid-loop open_view failure must not leak the
+        pins already opened on earlier shards — a leaked session pin
+        wedges that shard's overlay pruning for the process lifetime."""
+        cluster2.load("people", fixture_xml(), shard=0)
+        controller = cluster2._workers[0].engine.manager.concurrency
+        assert not controller._pins
+        # Kill shard 1 after shard 0 is pinned: the pin loop walks
+        # shards in order, so shard 0's view opens, then shard 1 raises.
+        cluster2._workers[1].stop()
+        with pytest.raises(ShardError):
+            with cluster2.read_view():
+                pass  # pragma: no cover - pinning must fail
+        assert not controller._pins, "shard 0 session pin leaked"
+
+    def test_pin_vector_instability_releases_pins(self, cluster2):
+        """The retry path must also drop each attempt's pins (it did
+        pre-refactor; keep it honest)."""
+        xml = fixture_xml()
+        cluster2.load("people", xml, shard=0)
+        controller = cluster2._workers[0].engine.manager.concurrency
+        ages, _names = _local_nids(xml)
+        real_routed = cluster2._routed
+
+        def racing_routed(shard, fn):
+            result = real_routed(shard, fn)
+            if isinstance(result, dict) and "view" in result:
+                # An update lands right after every pin: no attempt can
+                # ever verify a stable vector.
+                real_routed(0, lambda c: c.update_text(ages[0], "99"))
+            return result
+
+        cluster2._routed = racing_routed
+        try:
+            with pytest.raises(ShardError, match="no consistent"):
+                with cluster2.read_view(attempts=2):
+                    pass  # pragma: no cover - pinning must fail
+        finally:
+            cluster2._routed = real_routed
+        assert not controller._pins
+
+
 class TestMaintenance:
     def test_checkpoint_all_shards(self, cluster2):
         cluster2.load("people", fixture_xml(), shard=0)

@@ -83,6 +83,109 @@ class TestWalFormat:
         with pytest.raises(ValueError):
             WriteAheadLog(str(tmp_path / "w"), sync="wrong")
 
+    def test_close_is_idempotent(self, tmp_path):
+        """Regression: the drain path can close an already-closed log
+        (e.g. after a failed checkpoint released it); the second close
+        used to raise ``ValueError: I/O operation on closed file``."""
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.close()
+        log.close()
+
+    def test_append_many_forwards_exception_to_timer(self, tmp_path):
+        """Regression: a crashed batch write used to be recorded as a
+        successful append timing — ``finally`` called
+        ``timer.__exit__(None, None, None)`` regardless of the raise."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.storage import faults
+
+        seen: list[tuple] = []
+
+        class RecordingTimer:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def time(self):
+                inner_cm = self._inner.time()
+                record = seen
+
+                class _CM:
+                    def __enter__(self):
+                        inner_cm.__enter__()
+                        return self
+
+                    def __exit__(self, *exc):
+                        record.append(exc)
+                        return inner_cm.__exit__(*exc)
+
+                return _CM()
+
+        metrics = MetricsRegistry()
+        real_timer = metrics.timer("wal.append")
+        shim = RecordingTimer(real_timer)
+        metrics.timer = lambda name: (
+            shim if name == "wal.append" else real_timer
+        )
+        log = WriteAheadLog(str(tmp_path / "wal.log"), metrics=metrics)
+        injector = faults.FaultInjector(faults.CrashPlan("wal.append"))
+        with faults.injected(injector):
+            with pytest.raises(faults.InjectedCrash):
+                log.append_many([WalRecord(TEXT_UPDATE, 1, text="a")])
+        assert len(seen) == 1
+        exc_type, exc_value, _tb = seen[0]
+        assert exc_type is faults.InjectedCrash, (
+            "timer.__exit__ must receive the real exception triple"
+        )
+        assert isinstance(exc_value, faults.InjectedCrash)
+
+    def test_position_and_tail_frames_ship_complete_frames(self, tmp_path):
+        from repro.storage.wal import (
+            WAL_HEADER_SIZE,
+            decode_frames,
+            tail_frames,
+        )
+
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, epoch=3)
+        assert log.position() == WAL_HEADER_SIZE
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        log.append(WalRecord(TEXT_UPDATE, 2, text="b"))
+        blob, cursor = tail_frames(path, WAL_HEADER_SIZE)
+        assert cursor == log.position()
+        records = decode_frames(blob)
+        assert [(r.nid, r.text, r.epoch) for r in records] == [
+            (1, "a", 3), (2, "b", 3),
+        ]
+        # A torn (half-visible) trailing frame is trimmed, not shipped.
+        with open(path, "ab") as fh:
+            from repro.storage.wal import encode_frame
+            fh.write(encode_frame(
+                WalRecord(TEXT_UPDATE, 9, text="torn"), 3)[:-2])
+        blob2, cursor2 = tail_frames(path, cursor)
+        assert blob2 == b"" and cursor2 == cursor
+        log.close()
+
+    def test_decode_frames_rejects_damaged_blob(self, tmp_path):
+        from repro.storage.format import FormatError
+        from repro.storage.wal import decode_frames, encode_frame
+
+        frame = bytearray(encode_frame(WalRecord(TEXT_UPDATE, 1, "x"), 0))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FormatError, match="damaged"):
+            decode_frames(bytes(frame))
+        with pytest.raises(FormatError, match="damaged"):
+            decode_frames(bytes(frame[:-3]))
+
+    def test_truncate_records_last_incarnation(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, epoch=1)
+        log.append(WalRecord(TEXT_UPDATE, 1, text="a"))
+        final = log.position()
+        log.truncate(epoch=2)
+        assert log.last_truncate == (1, final)
+        assert log.epoch == 2
+        log.close()
+
 
 class TestDatabase:
     def test_create_load_query(self, tmp_path):
