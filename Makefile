@@ -17,6 +17,10 @@
 #   make repl-test — just the replication suite: WAL shipping,
 #                  catch-up, failover, time travel
 #                  (docs/replication.md)
+#   make elastic-test — just the elasticity suite: online migration
+#                  chaos/crashpoint cases, the differential property
+#                  interleavings and the follower-resync cases
+#                  (docs/sharding.md, elastic shards)
 #   make stress  — bounded, seeded reader/writer soak (default 30s;
 #                  tune with STRESS_SECONDS / STRESS_SEED)
 #   make bench   — tier-2: paper experiments + ablations at the default
@@ -34,6 +38,9 @@
 #                  single-engine oracle (emits BENCH_shard_scaleout.json)
 #   make bench-repl — read scale-out over followers + steady-state
 #                  replication lag (emits BENCH_replication.json)
+#   make bench-elastic — read throughput under continuous migrations
+#                  vs quiesced + per-migration cost
+#                  (emits BENCH_elastic.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -42,8 +49,8 @@ STRESS_SECONDS ?= 30
 STRESS_SEED ?= 777
 
 .PHONY: test lint faults concurrent serve-test shard-test repl-test \
-	stress bench bench-parallel bench-concurrent bench-serve \
-	bench-vectorized bench-shard bench-repl
+	elastic-test stress bench bench-parallel bench-concurrent \
+	bench-serve bench-vectorized bench-shard bench-repl bench-elastic
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -67,11 +74,16 @@ shard-test:
 repl-test:
 	$(PYTHON) -m pytest tests/repl -q
 
+elastic-test:
+	$(PYTHON) -m pytest tests/shard/test_migration_faults.py \
+	    tests/shard/test_elastic_property.py \
+	    tests/repl/test_elastic_resync.py -q
+
 stress:
 	REPRO_STRESS_SECONDS=$(STRESS_SECONDS) REPRO_STRESS_SEED=$(STRESS_SEED) \
 	$(PYTHON) -m pytest tests/concurrent -q -s
 
-test: lint faults concurrent serve-test shard-test repl-test
+test: lint faults concurrent serve-test shard-test repl-test elastic-test
 	$(PYTHON) -m pytest -x -q
 
 bench: bench-vectorized
@@ -97,3 +109,6 @@ bench-shard:
 
 bench-repl:
 	$(PYTHON) -m repro.bench.repl
+
+bench-elastic:
+	$(PYTHON) -m repro.bench.elastic

@@ -369,9 +369,58 @@ def cmd_shard_init(args) -> int:
     return 0
 
 
+def cmd_migrate(args) -> int:
+    if not _is_cluster(args.db):
+        print(f"error: {args.db!r} is not a shard cluster", file=sys.stderr)
+        return 1
+    with _open_cluster(args.db) as cluster:
+        report = cluster.migrate_document(args.name, args.shard,
+                                          method=args.method)
+    if not report["moved"]:
+        print(f"{args.name!r} already on shard {args.shard}")
+        return 0
+    print(f"moved {args.name!r}: shard {report['src']} -> {report['dst']} "
+          f"({report['bytes']} bytes, {report['duration_s'] * 1e3:.1f} ms "
+          f"total, updates paused {report['pause_s'] * 1e3:.1f} ms)")
+    return 0
+
+
+def cmd_rebalance(args) -> int:
+    if not _is_cluster(args.db):
+        print(f"error: {args.db!r} is not a shard cluster", file=sys.stderr)
+        return 1
+    with _open_cluster(args.db) as cluster:
+        result = cluster.rebalance(weight=args.weight,
+                                   apply=not args.dry_run,
+                                   method=args.method)
+    for name, dst in result["moves"]:
+        verb = "would move" if args.dry_run else "moved"
+        print(f"{verb} {name!r} -> shard {dst}")
+    if not result["moves"]:
+        print("placement already balanced")
+    before, after = result["loads_before"], result["loads_after"]
+    for shard in sorted(after):
+        print(f"shard {shard}: {before.get(shard, 0)} -> "
+              f"{after[shard]} {args.weight}")
+    return 0
+
+
+def cmd_resize(args) -> int:
+    if not _is_cluster(args.db):
+        print(f"error: {args.db!r} is not a shard cluster", file=sys.stderr)
+        return 1
+    with _open_cluster(args.db) as cluster:
+        result = cluster.resize(args.shards, method=args.method)
+    for move in result["moves"]:
+        name, *rest = move
+        print(f"moved {name!r} -> shard {rest[-1]}")
+    print(f"cluster now has {result['shards']} shard(s)")
+    return 0
+
+
 def cmd_bench(args) -> int:
-    from .bench import concurrent, figure9, figure10, figure11, parallel, \
-        repl, serve, shard, table1
+    from .bench import concurrent, elastic, figure9, figure10, figure11, \
+        parallel, repl, serve, shard, table1
 
     module = {
         "table1": table1,
@@ -383,6 +432,7 @@ def cmd_bench(args) -> int:
         "serve": serve,
         "shard": shard,
         "repl": repl,
+        "elastic": elastic,
     }[args.experiment]
     module.main()
     return 0
@@ -511,11 +561,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maintain the q-gram substring index")
     p.set_defaults(fn=cmd_shard_init)
 
+    p = sub.add_parser(
+        "migrate",
+        help="move one document to another shard, online "
+             "(docs/sharding.md, Elastic shards)",
+    )
+    p.add_argument("db")
+    p.add_argument("name")
+    p.add_argument("shard", type=int)
+    p.add_argument("--method", default="snapshot",
+                   choices=["snapshot", "direct"],
+                   help="snapshot: replicate then cut over (short pause); "
+                        "direct: pause for the whole copy")
+    p.set_defaults(fn=cmd_migrate)
+
+    p = sub.add_parser(
+        "rebalance",
+        help="re-level document placement across shards",
+    )
+    p.add_argument("db")
+    p.add_argument("--weight", default="bytes", choices=["bytes", "nodes"],
+                   help="per-document load measure")
+    p.add_argument("--method", default="direct",
+                   choices=["snapshot", "direct"])
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the plan without migrating")
+    p.set_defaults(fn=cmd_rebalance)
+
+    p = sub.add_parser(
+        "resize",
+        help="grow or shrink the cluster's shard count",
+    )
+    p.add_argument("db")
+    p.add_argument("shards", type=int)
+    p.add_argument("--method", default="direct",
+                   choices=["snapshot", "direct"])
+    p.set_defaults(fn=cmd_resize)
+
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment",
                    choices=["table1", "figure9", "figure10", "figure11",
                             "parallel", "concurrent", "serve", "shard",
-                            "repl"])
+                            "repl", "elastic"])
     p.set_defaults(fn=cmd_bench)
     return parser
 

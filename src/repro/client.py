@@ -22,6 +22,7 @@ rejections include the server's ``retry_after_ms`` hint, which
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
 import socket
 import time
@@ -206,6 +207,46 @@ class Client:
 
     def checkpoint(self) -> dict:
         return self.call("checkpoint")
+
+    # -- elasticity (shard migration; docs/sharding.md) ------------------
+
+    def set_placement(self, version: int) -> dict:
+        """Tell the shard about a newer cluster layout version."""
+        return self.call("placement", version=version)
+
+    def document_stats(self) -> dict:
+        """Per-document ``{nodes, bytes}`` stats (rebalance inputs)."""
+        return self.call("doc.stats")["documents"]
+
+    def export_document(self, name: str,
+                        chunk_bytes: int = 4 << 20) -> bytes:
+        """Fetch one document's snapshot encoding in chunks."""
+        payload = bytearray()
+        offset = 0
+        while True:
+            result = self.call("doc.export", name=name, offset=offset,
+                               length=chunk_bytes)
+            payload.extend(base64.b64decode(result["data"]))
+            offset = len(payload)
+            if result["eof"]:
+                return bytes(payload)
+
+    def import_document(self, name: str, payload: bytes,
+                        chunk_bytes: int = 4 << 20) -> dict:
+        """Ship a document's snapshot encoding in chunks; the final
+        (``eof``) chunk adopts and indexes it on the receiving shard."""
+        offset = 0
+        result: dict = {}
+        while True:
+            chunk = payload[offset:offset + chunk_bytes]
+            eof = offset + len(chunk) >= len(payload)
+            result = self.call(
+                "doc.import", name=name, offset=offset,
+                data=base64.b64encode(chunk).decode("ascii"), eof=eof,
+            )
+            offset += len(chunk)
+            if eof:
+                return result
 
 
 class AsyncClient:

@@ -135,11 +135,17 @@ class IndexManager:
             raise IndexError_("concurrency not enabled on this manager")
         return self.concurrency.read_view()
 
-    def _exclusive(self):
-        """Latch scope for structural changes (no-op when disabled)."""
+    def _exclusive(self, structural: bool = True):
+        """Latch scope for structural changes (no-op when disabled).
+
+        ``structural=False`` marks exclusive scopes that only *add*
+        state (e.g. adopting a migrated document): existing documents'
+        columns are untouched and the B-trees are republished
+        copy-on-write, so session pins stay valid.
+        """
         if self.concurrency is None:
             return nullcontext()
-        return self.concurrency.exclusive()
+        return self.concurrency.exclusive(structural=structural)
 
     @property
     def indexes(self) -> list[ValueIndex]:
@@ -204,8 +210,9 @@ class IndexManager:
                 doc, indexes, workers, backend=self.parallel_backend
             )
 
-    def _build_document(self, doc: Document, parallel) -> None:
-        with self._exclusive():
+    def _build_document(self, doc: Document, parallel,
+                        structural: bool = True) -> None:
+        with self._exclusive(structural=structural):
             with self.metrics.timer("index.build").time():
                 indexes = self.indexes
                 for index in indexes:
@@ -232,6 +239,30 @@ class IndexManager:
         """Shred a pre-parsed event stream and index it."""
         doc = self.store.add_document_events(name, events)
         self._build_document(doc, parallel)
+        return doc
+
+    def adopt_document(
+        self, doc: Document, parallel: int | str | None = _DEFAULT
+    ) -> Document:
+        """Index a document decoded from another engine's snapshot
+        (shard migration import).
+
+        The store keeps the incoming nids when possible (cluster
+        shards mint from disjoint ranges, so node identity survives
+        the move) and remaps only on collision; index fields are then
+        recomputed with the ordinary Figure 7 pass — hashing and FSM
+        typing are deterministic functions of the text, so the
+        rebuilt entries match the source's exactly.
+
+        Unlike :meth:`load` this build is *non-structural* for pinned
+        readers: adopting only adds a document (no existing column is
+        spliced, and ``finish_bulk`` republishes the trees
+        copy-on-write), so session pins opened before the import stay
+        valid — a migration must not invalidate in-flight cluster
+        views on the destination shard.
+        """
+        doc = self.store.adopt_document(doc)
+        self._build_document(doc, parallel, structural=False)
         return doc
 
     def _substring_add_range(self, doc: Document, start: int, end: int) -> None:

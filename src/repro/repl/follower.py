@@ -143,9 +143,13 @@ class Follower:
         ) from failure
 
     def _install(self, info: dict, blobs: dict[str, bytes]) -> None:
+        # Keep ``self.engine`` pointing at the old (closed, but still
+        # readable in memory) engine until the replacement is built:
+        # unsynchronized readers polling ``follower.engine`` across a
+        # resync see a stale snapshot — ordinary replication staleness
+        # — never an AttributeError on a transient None.
         if self.engine is not None:
             self.engine.close(checkpoint=False)
-            self.engine = None
         os.makedirs(self.path, exist_ok=True)
         # Drop every stale artifact (old snapshot files AND the local
         # WAL — its records are already folded into the fetched

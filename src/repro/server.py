@@ -33,6 +33,7 @@ responses are tagged with the request id, so clients may pipeline.
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
 import signal
 import threading
@@ -40,12 +41,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
 
 from . import wire
-from .core.concurrency import EpochNotRetained
+from .core.concurrency import EpochNotRetained, active_view
 from .database import Database
 from .errors import ReproError
 from .wire import (
     E_BAD_REQUEST,
     E_BUSY,
+    E_DOC_MOVED,
     E_ENGINE,
     E_INTERNAL,
     E_NO_EPOCH,
@@ -74,15 +76,22 @@ class RequestError(Exception):
 
 
 class _Session:
-    """Per-connection state: id, pinned views, write serialization."""
+    """Per-connection state: id, pinned views, write serialization,
+    and in-progress chunked document transfers (shard migration)."""
 
-    __slots__ = ("session_id", "pins", "next_view", "write_lock")
+    __slots__ = ("session_id", "pins", "next_view", "write_lock",
+                 "exports", "imports")
 
     def __init__(self, session_id: int):
         self.session_id = session_id
         self.pins: dict[int, Any] = {}
         self.next_view = 1
         self.write_lock = asyncio.Lock()
+        #: document name -> full export payload (chunk-served, dropped
+        #: once the last chunk is read or the connection closes).
+        self.exports: dict[str, bytes] = {}
+        #: document name -> accumulating import payload.
+        self.imports: dict[str, bytearray] = {}
 
 
 class DatabaseServer:
@@ -98,6 +107,13 @@ class DatabaseServer:
             updates; beyond it requests fail fast with ``busy``.
         read_workers/write_workers: Thread-pool sizes for read and
             update execution.
+        placement_version: The cluster layout version this shard was
+            (re)started under, or ``None`` when serving stand-alone.
+            Scatter requests stamped with an older version are
+            rejected with retryable ``doc_moved`` instead of being
+            answered from the wrong side of a migration; the
+            coordinator advances it with the ``placement`` op after
+            each manifest flip (docs/sharding.md).
     """
 
     def __init__(
@@ -108,6 +124,7 @@ class DatabaseServer:
         max_pending_updates: int = 64,
         read_workers: int = 8,
         write_workers: int = 8,
+        placement_version: int | None = None,
     ):
         if db.manager.concurrency is None:
             raise ReproError(
@@ -127,6 +144,7 @@ class DatabaseServer:
             max_workers=write_workers, thread_name_prefix="serve-write"
         )
         self._pending_updates = 0
+        self.placement_version = placement_version
         self._state = "new"  # new -> serving -> draining -> closed
         self._server: asyncio.base_events.Server | None = None
         self._sessions: set[_Session] = set()
@@ -365,14 +383,82 @@ class DatabaseServer:
             "epoch": self._controller.published().epoch,
             "shard": self.db.shard_id,
             "documents": sorted(self.db.store.documents),
+            "placement": self.placement_version,
         }
 
     async def _op_ping(self, session, message) -> dict:
         return {}
 
+    def _check_placement(self, message: dict) -> None:
+        """Reject a scatter request routed under a stale cluster layout.
+
+        The coordinator stamps scatter requests with the manifest
+        version its routing decision used; when this shard has since
+        been told about a newer layout (``placement`` op after a
+        migration flip) the request is answered with retryable
+        ``doc_moved`` — the caller re-routes against the current
+        manifest.  Requests pinned to a session view skip the gate:
+        a pinned view deliberately keeps answering from the placement
+        it captured (the source copy is only unloaded once no view
+        pins it — docs/sharding.md).
+        """
+        stamped = message.get("placement")
+        if stamped is None or message.get("view") is not None:
+            return
+        current = self.placement_version
+        if current is None or stamped > current:
+            # The coordinator planned under a layout newer than this
+            # shard has been told about (it missed the broadcast —
+            # restart race, or a coordinator that died right after
+            # flipping): adopt it, versions only ever grow.
+            self.placement_version = stamped
+            return
+        if stamped < current:
+            raise RequestError(
+                E_DOC_MOVED,
+                f"request routed under placement version {stamped}, "
+                f"shard now at {current}; re-route and retry",
+                placement=current,
+            )
+
+    def _documents_query(self, documents: list, fn):
+        """Evaluate ``fn(document)`` per requested document, inside one
+        pinned view, failing with ``doc_moved`` on any absent one.
+
+        The explicit document list is what makes scatter queries safe
+        during migration: a document mid-copy exists on *two* shards,
+        and the coordinator's placement snapshot names which shard
+        answers for it — so a shard must never silently answer for a
+        document it merely happens to hold (double count), nor
+        silently skip one it no longer holds (dropped rows).
+        """
+        controller = self._controller
+
+        def run():
+            out = []
+            for name in documents:
+                if name not in self.db.store.documents:
+                    raise RequestError(
+                        E_DOC_MOVED,
+                        f"document {name!r} is not on this shard; "
+                        "re-route and retry",
+                        document=name,
+                        placement=self.placement_version,
+                    )
+                out.append(fn(name))
+            return out
+
+        if active_view() is None:
+            # One pin for the whole list — per-document evaluation
+            # must not straddle epochs.
+            with controller.read_view():
+                return run()
+        return run()
+
     async def _op_query(self, session, message) -> dict:
         text = self._require(message, "xpath")
         document = message.get("document")
+        documents = message.get("documents")
         use_indexes = message.get("use_indexes", True)
         as_of = message.get("as_of")
         if use_indexes not in (True, False, "auto"):
@@ -381,6 +467,21 @@ class DatabaseServer:
             )
         if as_of is not None and not isinstance(as_of, int):
             raise RequestError(E_BAD_REQUEST, "as_of must be an epoch int")
+        if documents is not None and not isinstance(documents, list):
+            raise RequestError(E_BAD_REQUEST, "documents must be a list")
+        self._check_placement(message)
+        if documents is not None:
+            # Documents-scoped scatter shape (always rows).
+            batches = await self._run_read(
+                session, message,
+                lambda: self._documents_query(
+                    documents,
+                    lambda name: self.db.query_rows(
+                        text, name, use_indexes, as_of=as_of),
+                ),
+            )
+            return {"rows": [list(row)
+                             for batch in batches for row in batch]}
         if message.get("rows"):
             # Scatter-gather shape: (document, pre, nid) rows — pre
             # addresses survive re-placement, bare nids don't.  The
@@ -536,6 +637,97 @@ class DatabaseServer:
             "current": self._controller.published().epoch,
         }
 
+    # -- elasticity (shard migration; see docs/sharding.md) --------------
+
+    async def _op_placement(self, session, message) -> dict:
+        """Advance this shard's cluster layout version (manifest flip).
+
+        Monotonic: a late-arriving older stamp never rolls the shard
+        back behind a flip it has already been told about.
+        """
+        version = int(self._require(message, "version"))
+        previous = self.placement_version
+        if previous is None or version > previous:
+            self.placement_version = version
+        return {"placement": self.placement_version, "previous": previous}
+
+    async def _op_doc_export(self, session, message) -> dict:
+        """Chunked read of one document's snapshot encoding.
+
+        ``offset == 0`` captures (and caches on the session) a fresh
+        consistent export; later offsets serve from that capture, so
+        one transfer never mixes two states of the document.  The
+        cache entry drops with the final chunk.
+        """
+        name = self._require(message, "name")
+        offset = int(message.get("offset", 0))
+        length = int(message.get("length", 4 << 20))
+        if offset < 0 or length <= 0:
+            raise RequestError(E_BAD_REQUEST, "bad offset/length")
+
+        def call():
+            if offset == 0:
+                if name not in self.db.store.documents:
+                    raise RequestError(
+                        E_DOC_MOVED,
+                        f"document {name!r} is not on this shard",
+                        document=name,
+                        placement=self.placement_version,
+                    )
+                session.exports[name] = self.db.export_document(name)
+            payload = session.exports.get(name)
+            if payload is None:
+                raise RequestError(
+                    E_BAD_REQUEST,
+                    f"no export in progress for {name!r} "
+                    "(chunks must start at offset 0)",
+                )
+            chunk = payload[offset:offset + length]
+            eof = offset + len(chunk) >= len(payload)
+            if eof:
+                session.exports.pop(name, None)
+            return {
+                "data": base64.b64encode(chunk).decode("ascii"),
+                "eof": eof,
+                "size": len(payload),
+            }
+
+        return await self._run_read(session, message, call)
+
+    async def _op_doc_import(self, session, message) -> dict:
+        """Chunked write of a document exported from another shard.
+
+        Chunks accumulate on the session; the ``eof`` chunk adopts the
+        document (foreign nids remapped, indexes rebuilt, checkpoint)
+        on the writer pool like any other bulk write.
+        """
+        name = self._require(message, "name")
+        data = base64.b64decode(self._require(message, "data"))
+        offset = int(message.get("offset", 0))
+        buffer = session.imports.setdefault(name, bytearray())
+        if offset != len(buffer):
+            session.imports.pop(name, None)
+            raise RequestError(
+                E_BAD_REQUEST,
+                f"import chunk at offset {offset}, expected {len(buffer)}",
+            )
+        buffer.extend(data)
+        if not message.get("eof"):
+            return {"received": len(buffer)}
+        payload = bytes(session.imports.pop(name))
+
+        def call():
+            doc = self.db.import_document(name, payload)
+            return {"received": len(payload), "nodes": len(doc.nid)}
+
+        return await self._run_update(call)
+
+    async def _op_doc_stats(self, session, message) -> dict:
+        """Per-document placement metrics (rebalance policy inputs)."""
+        return await self._run_read(
+            session, message, lambda: {"documents": self.db.document_stats()}
+        )
+
     # -- replication (primary side; see repro.repl.primary) -------------
 
     async def _op_repl_manifest(self, session, message) -> dict:
@@ -589,6 +781,10 @@ class DatabaseServer:
         "metrics": _op_metrics,
         "checkpoint": _op_checkpoint,
         "epochs": _op_epochs,
+        "placement": _op_placement,
+        "doc.export": _op_doc_export,
+        "doc.import": _op_doc_import,
+        "doc.stats": _op_doc_stats,
         "repl.manifest": _op_repl_manifest,
         "repl.fetch": _op_repl_fetch,
         "repl.wal": _op_repl_wal,

@@ -12,18 +12,30 @@ The package splits the serving engine into three layers
 * :mod:`repro.shard.coordinator` — :class:`ShardCluster`: partitions a
   corpus across shards by document, routes updates to the owning
   shard, scatters queries and k-way merges the per-shard row batches,
-  and pins cross-shard read views on a consistent epoch vector.
+  and pins cross-shard read views on a consistent epoch vector.  The
+  cluster is elastic: live document migration, policy-driven
+  rebalancing and resize (``docs/sharding.md``, "Elastic shards").
 """
 
-from .coordinator import ShardCluster, ShardDownError, ShardError
+from .coordinator import (
+    ClusterView,
+    DocumentMovedError,
+    ShardCluster,
+    ShardDownError,
+    ShardError,
+    greedy_balance,
+)
 from .engine import RecoveryReport, ShardEngine
 from .manifest import ShardingManifest
 
 __all__ = [
+    "ClusterView",
+    "DocumentMovedError",
     "RecoveryReport",
     "ShardCluster",
     "ShardDownError",
     "ShardError",
     "ShardEngine",
     "ShardingManifest",
+    "greedy_balance",
 ]

@@ -32,6 +32,8 @@ from ..query import query as _query
 from ..storage import faults
 from ..storage.groupcommit import GroupCommitLog
 from ..storage.persist import (
+    document_bytes,
+    document_from_bytes,
     load_manager,
     manifest_epoch,
     read_manifest,
@@ -54,6 +56,12 @@ __all__ = ["ShardEngine", "RecoveryReport"]
 
 _WAL_FILE = "wal.log"
 _MANIFEST = "MANIFEST.json"
+
+#: Width of each shard's private nid range (shard ``k`` allocates from
+#: ``k << NID_RANGE_BITS``): no two shards ever mint the same node id,
+#: so a migrated document keeps its nids and clients keep using ids
+#: they learned before the move.
+NID_RANGE_BITS = 48
 
 
 @dataclass(frozen=True)
@@ -147,6 +155,7 @@ class ShardEngine:
             manifest = read_manifest(path)
             self.checkpoint_epoch = manifest_epoch(manifest)
             self.manager = load_manager(path)
+            self._reserve_shard_nids()
             stats = ReplayStats()
             replayed = skipped = 0
             for record in replay_records(wal_path, stats):
@@ -178,6 +187,7 @@ class ShardEngine:
             self.manager = IndexManager(
                 string=string, typed=tuple(typed), substring=substring
             )
+            self._reserve_shard_nids()
             self.checkpoint_epoch = save_manager(self.manager, path)
             self.recovered_records = 0
             self.recovery = RecoveryReport()
@@ -208,6 +218,14 @@ class ShardEngine:
                 batch_wait=group_batch_wait_ms / 1000.0,
                 metrics=self.manager.metrics,
             )
+
+    def _reserve_shard_nids(self) -> None:
+        """Move the nid allocator into this shard's private range (a
+        no-op outside a cluster, and on reopen — the persisted counter
+        is already in range)."""
+        if self.shard_id:
+            self.manager.store.reserve_nids(
+                self.shard_id << NID_RANGE_BITS)
 
     def _record_recovery_metrics(self) -> None:
         metrics = self.manager.metrics
@@ -317,6 +335,46 @@ class ShardEngine:
         self.manager.unload(name)
         self.bulk_stamp += 1
         self.checkpoint()
+
+    def export_document(self, name: str) -> bytes:
+        """One document in the on-disk snapshot encoding — the unit of
+        transfer for shard migration.
+
+        The encoding carries this engine's nids; the importer remaps
+        them (:meth:`import_document`).  Runs under the non-structural
+        exclusive latch so the columns are a consistent cut, without
+        invalidating session pins.
+        """
+        controller = self.manager.concurrency
+        scope = (nullcontext() if controller is None
+                 else controller.exclusive(structural=False))
+        with scope:
+            doc = self.manager.store.document(name)
+            return document_bytes(doc)
+
+    def import_document(self, name: str, payload: bytes):
+        """Adopt a document exported from another shard.
+
+        Decodes the snapshot encoding, adopts the nodes (original
+        nids are kept — shard nid ranges are disjoint), rebuilds index
+        fields with the ordinary creation pass, and checkpoints —
+        like :meth:`load`, an import
+        is a snapshot-sized event (``bulk_stamp`` bump), not a log
+        record, so a tailing follower resyncs rather than replays.
+        """
+        doc = document_from_bytes(name, payload)
+        doc = self.manager.adopt_document(doc)
+        self.bulk_stamp += 1
+        self.checkpoint()
+        return doc
+
+    def document_stats(self) -> dict[str, dict[str, int]]:
+        """Per-document placement metrics: node count and column-store
+        byte size — the inputs to rebalancing policies."""
+        return {
+            name: {"nodes": len(doc), "bytes": doc.byte_size()}
+            for name, doc in self.manager.store.documents.items()
+        }
 
     @property
     def store(self):

@@ -16,11 +16,17 @@ layout:
   order documents were loaded in must be a cluster-level fact, not a
   per-shard one;
 * ``config`` — the index configuration every shard was created with.
+* ``version`` — a monotonic counter bumped by every placement change
+  (place, unplace, move, resize).  The coordinator stamps scatter
+  requests with the version its routing decision was made under, so a
+  worker can reject a request routed under a stale layout
+  (``doc_moved``) instead of silently answering from the wrong side
+  of a migration — see ``docs/sharding.md``.
 
 The file is written atomically (temp + rename, like the per-shard
 manifests in :mod:`repro.storage.persist`) and re-written whenever a
-document is placed or unloaded, i.e. checkpointed alongside each
-shard's own manifest.
+document is placed, unloaded or moved, i.e. checkpointed alongside
+each shard's own manifest.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ class ShardingManifest:
         self.config: dict[str, Any] = dict(config or {})
         self.placement: dict[str, int] = {}
         self.doc_order: list[str] = []
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Placement
@@ -70,7 +77,8 @@ class ShardingManifest:
         """Record ``name`` as placed, on ``shard`` when given (explicit
         placement) or on its hash shard otherwise.  Re-placing an
         already-placed document on a *different* shard is an error —
-        moving a document is an unload + reload, not a re-place."""
+        moving a live document is :meth:`move` (which preserves the
+        global load order), not a re-place."""
         target = self.shard_of(name) if shard is None else shard
         if not 0 <= target < self.shards:
             raise ValueError(
@@ -85,12 +93,56 @@ class ShardingManifest:
         if name in self.doc_order:
             self.doc_order.remove(name)
         self.doc_order.append(name)
+        self.version += 1
         return target
 
     def unplace(self, name: str) -> int:
         shard = self.placement.pop(name)
         self.doc_order.remove(name)
+        self.version += 1
         return shard
+
+    def move(self, name: str, shard: int) -> int:
+        """Re-home an already-placed document onto ``shard``.
+
+        Unlike unplace + place this keeps ``name``'s position in
+        ``doc_order`` — a migration changes *where* a document lives,
+        never the global result order — and bumps ``version`` exactly
+        once, so the flip is a single atomic layout transition.
+        Returns the previous owner.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        try:
+            current = self.placement[name]
+        except KeyError:
+            raise ValueError(f"document {name!r} is not placed") from None
+        self.placement[name] = shard
+        self.version += 1
+        return current
+
+    def set_shards(self, shards: int) -> None:
+        """Change the shard count (the resize flip).
+
+        Every placement must already fit inside the new range — the
+        coordinator drains documents off doomed shards *before*
+        shrinking, so a manifest never references a shard that no
+        longer exists.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        stranded = sorted(
+            n for n, s in self.placement.items() if s >= shards
+        )
+        if stranded:
+            raise ValueError(
+                f"cannot shrink to {shards} shards: documents still "
+                f"placed on removed shards: {', '.join(stranded)}"
+            )
+        self.shards = shards
+        self.version += 1
 
     def documents_on(self, shard: int) -> list[str]:
         """Documents owned by ``shard``, in global load order."""
@@ -112,6 +164,7 @@ class ShardingManifest:
             "config": self.config,
             "placement": self.placement,
             "doc_order": list(self.doc_order),
+            "version": self.version,
         }
 
     @classmethod
@@ -127,6 +180,10 @@ class ShardingManifest:
         manifest.doc_order = [str(n) for n in data.get("doc_order", [])]
         if sorted(manifest.doc_order) != sorted(manifest.placement):
             raise ValueError("sharding manifest: doc_order != placement keys")
+        # Manifests written before elasticity carry no version; they
+        # have by definition never seen a placement change race, so 0
+        # (strictly below any bumped version) is the right basis.
+        manifest.version = int(data.get("version", 0))
         return manifest
 
     def save(self, root: str) -> None:

@@ -89,6 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--retain-epochs", type=int, default=0,
                         help="time-travel window for as_of queries "
                              "(docs/replication.md)")
+    parser.add_argument("--placement-version", type=int, default=None,
+                        help="cluster layout version this worker serves "
+                             "under (stale-stamped scatters get doc_moved)")
     parser.add_argument("--kill-at", default=None, metavar="POINT[:OCC]",
                         help="os._exit at the OCCth hit of crashpoint POINT")
     parser.add_argument("--kill-keep-bytes", type=int, default=None,
@@ -113,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     async def run() -> None:
-        server = DatabaseServer(engine, host=args.host, port=args.port)
+        server = DatabaseServer(engine, host=args.host, port=args.port,
+                                placement_version=args.placement_version)
         await server.start()
         print(f"PORT {server.port}", flush=True)
         await server.serve_until(asyncio.Event())

@@ -57,6 +57,8 @@ __all__ = [
     "load_manager",
     "read_manifest",
     "manifest_epoch",
+    "document_bytes",
+    "document_from_bytes",
 ]
 
 _MANIFEST = "MANIFEST.json"
@@ -229,11 +231,21 @@ def _document_bytes(doc: Document) -> bytes:
     return fh.getvalue()
 
 
-def _read_document(name: str, path: str) -> Document:
+def document_bytes(doc: Document) -> bytes:
+    """Public alias for the on-disk document encoding — also the unit
+    of transfer for shard migration (``docs/sharding.md``)."""
+    return _document_bytes(doc)
+
+
+def document_from_bytes(name: str, payload: bytes) -> Document:
+    """Decode one document from its :func:`document_bytes` encoding.
+
+    The returned document carries the *source* engine's nids verbatim;
+    an importer that lives in a different nid space must remap them
+    (see ``IndexManager.adopt_document``) before registering it.
+    """
     doc = Document(name)
     sections: dict[str, bytes] = {}
-    with open(path, "rb") as fh:
-        payload = faults.filter_read(fh.read(), "persist.read_doc")
     buf = io.BytesIO(payload)
     read_header(buf)
     for tag, section in read_sections(buf):
@@ -242,7 +254,9 @@ def _read_document(name: str, path: str) -> Document:
                 "HEAP", "HOFF", "VOCB", "VOFF"}
     missing = required - set(sections)
     if missing:
-        raise FormatError(f"document file {path!r} missing {sorted(missing)}")
+        raise FormatError(
+            f"document payload for {name!r} missing {sorted(missing)}"
+        )
     doc.kind = unpack_array(sections["KIND"], "u1")
     doc.size = unpack_array(sections["SIZE"], "<u4")
     doc.level = unpack_array(sections["LEVL"], "<u2")
@@ -266,6 +280,12 @@ def _read_document(name: str, path: str) -> Document:
         doc.source_bytes = unpack_array(sections["SRCB"], "<u8")[0]
     doc.rebuild_nid_map()
     return doc
+
+
+def _read_document(name: str, path: str) -> Document:
+    with open(path, "rb") as fh:
+        payload = faults.filter_read(fh.read(), "persist.read_doc")
+    return document_from_bytes(name, payload)
 
 
 # ---------------------------------------------------------------------------

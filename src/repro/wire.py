@@ -51,6 +51,7 @@ __all__ = [
     "E_UNSUPPORTED_VERSION",
     "E_SHARD_DOWN",
     "E_NO_EPOCH",
+    "E_DOC_MOVED",
 ]
 
 #: Bumped on incompatible protocol changes; exchanged in ``hello``.
@@ -60,7 +61,7 @@ PROTOCOL_VERSION = 1
 #: name the features it needs in its ``hello``; a server that lacks
 #: any of them answers ``unsupported_version`` instead of failing in
 #: undefined ways mid-session.
-FEATURES = ("views", "rows", "scatter", "replication", "as_of")
+FEATURES = ("views", "rows", "scatter", "replication", "as_of", "elastic")
 
 #: Upper bound on one frame's body size (16 MiB).
 MAX_FRAME_BYTES = 16 << 20
@@ -79,6 +80,7 @@ E_INTERNAL = "internal"            # unexpected server-side failure
 E_UNSUPPORTED_VERSION = "unsupported_version"  # hello version/feature mismatch
 E_SHARD_DOWN = "shard_down"        # coordinator: owning shard unreachable
 E_NO_EPOCH = "epoch_not_retained"  # as_of epoch outside the retained window
+E_DOC_MOVED = "doc_moved"          # placement changed under the request; retry
 
 
 class WireError(Exception):

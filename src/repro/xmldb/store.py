@@ -62,9 +62,22 @@ class Store:
     # ------------------------------------------------------------------
 
     def allocate_nid(self) -> int:
+        # Skip over live nids: adopted documents (shard migration)
+        # keep their original ids, which may sit above the counter.
         nid = self._next_nid
-        self._next_nid += 1
+        while nid in self._doc_of_nid:
+            nid += 1
+        self._next_nid = nid + 1
         return nid
+
+    def reserve_nids(self, base: int) -> None:
+        """Start allocating at ``base`` (or above, if already past).
+
+        A shard cluster gives every shard a disjoint nid range so a
+        document's node ids survive migration unchanged — no two
+        engines ever mint the same id.
+        """
+        self._next_nid = max(self._next_nid, base)
 
     def node(self, nid: int) -> tuple[Document, int]:
         """Resolve a nid to ``(document, pre)``."""
@@ -102,6 +115,31 @@ class Store:
         if name in self.documents:
             raise DocumentError(f"document {name!r} already exists")
         doc = shred_events(name, events, self.allocate_nid)
+        self._register(doc)
+        return doc
+
+    def adopt_document(self, doc: Document) -> Document:
+        """Register a document decoded from *another* engine's nid
+        space (shard migration import).
+
+        The incoming nids are kept whenever none collides with a live
+        nid here — in a cluster, shard nid ranges are disjoint
+        (:meth:`reserve_nids`), so node identity survives migration
+        and clients may keep using ids they learned before the move.
+        On a collision (engines sharing a range) every node is
+        remapped through this store's allocator instead; pre order —
+        and with it every pre-addressed column and all query results —
+        is untouched either way.
+        """
+        if doc.name in self.documents:
+            raise DocumentError(f"document {doc.name!r} already exists")
+        if any(nid in self._doc_of_nid for nid in doc.nid):
+            mapping = {old: self.allocate_nid() for old in doc.nid}
+            doc.nid = [mapping[old] for old in doc.nid]
+            doc.parent_nid = [
+                mapping[p] if p >= 0 else p for p in doc.parent_nid
+            ]
+            doc.rebuild_nid_map()
         self._register(doc)
         return doc
 

@@ -17,6 +17,7 @@ import pytest
 
 from repro.database import Database
 from repro.shard import ShardCluster, ShardDownError
+from repro.shard.engine import NID_RANGE_BITS
 from repro.shard.worker import KillSwitch
 
 from .harness import classified_text_nids, fixture_xml
@@ -50,19 +51,22 @@ def _wait_dead(cluster: ShardCluster, shard: int, timeout: float = 10.0) -> None
 def test_kill_one_shard_mid_commit(tmp_path, cluster):
     xml = fixture_xml()
     ages = _local_nids(xml, tmp_path)
+    # Shard 1 mints from its own nid range; the probe engine (no
+    # shard id) mints from zero, so offset its nids for cluster calls.
+    ages1 = [nid + (1 << NID_RANGE_BITS) for nid in ages]
     cluster.load("left", xml, shard=0)
     cluster.load("right", xml, shard=1)
-    cluster.update_text("right", ages[0], "1111")  # acked pre-restart
+    cluster.update_text("right", ages1[0], "1111")  # acked pre-restart
 
     # Re-arm shard 1 so occurrence counting starts at a clean WAL:
     # append #1 is the next acked update, append #2 dies mid-write
     # with a 7-byte torn prefix on disk.
     cluster.arm_kill(1, "wal.append", occurrence=2, keep_bytes=7)
     cluster.restart_shard(1)
-    cluster.update_text("right", ages[1], "2222")  # acked post-restart
+    cluster.update_text("right", ages1[1], "2222")  # acked post-restart
 
     with pytest.raises(ShardDownError) as excinfo:
-        cluster.update_text("right", ages[2], "9999")  # never acked
+        cluster.update_text("right", ages1[2], "9999")  # never acked
     assert excinfo.value.code == "shard_down"
     assert excinfo.value.shard == 1
     _wait_dead(cluster, 1)
@@ -71,7 +75,7 @@ def test_kill_one_shard_mid_commit(tmp_path, cluster):
 
     # The dead shard stays down with the stable error...
     with pytest.raises(ShardDownError):
-        cluster.update_text("right", ages[3], "7777")
+        cluster.update_text("right", ages1[3], "7777")
     with pytest.raises(ShardDownError):
         cluster.query("//p")
     # ...while the live shard keeps serving.
@@ -101,7 +105,7 @@ def test_kill_one_shard_mid_commit(tmp_path, cluster):
     assert cluster.query_pres("//p[.//age = 9999]") == []
 
     # And the recovered shard accepts new writes.
-    cluster.update_text("right", ages[2], "3333")
+    cluster.update_text("right", ages1[2], "3333")
     assert len(cluster.query_pres("//p[.//age = 3333]")) == 1
 
 

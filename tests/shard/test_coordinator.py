@@ -10,14 +10,19 @@ from ..concurrent.harness import classified_text_nids, fixture_xml
 from .conftest import make_cluster
 
 
-def _local_nids(xml: str):
-    """nids the fixture doc gets when loaded first into a fresh engine
-    (shredding is deterministic, so these are the shard-local nids)."""
+def _local_nids(xml: str, shard: int = 0):
+    """nids the fixture doc gets when loaded first into shard ``shard``
+    (shredding is deterministic and each shard mints from its own
+    range, so these are the shard-local nids)."""
     import tempfile
 
+    from repro.shard.engine import NID_RANGE_BITS
+
+    base = shard << NID_RANGE_BITS
     with tempfile.TemporaryDirectory() as tmp:
         with Database(tmp + "/probe") as db:
-            return classified_text_nids(db.load("probe", xml))
+            ages, names = classified_text_nids(db.load("probe", xml))
+    return [n + base for n in ages], [n + base for n in names]
 
 
 class TestPlacementAndRouting:
@@ -29,7 +34,7 @@ class TestPlacementAndRouting:
 
     def test_update_routed_to_owner(self, cluster2):
         xml = fixture_xml()
-        ages, _names = _local_nids(xml)
+        ages, _names = _local_nids(xml, shard=1)
         cluster2.load("people", xml, shard=1)
         cluster2.update_text("people", ages[0], "1234")
         rows = cluster2.query("//p[.//age = 1234]")
